@@ -1,0 +1,31 @@
+"""Fig. 11 — online-phase speedup of ParSecureML over SecureML.
+
+Paper: average 64.5x, higher than the overall speedup (Fig. 10) because
+the GPU acceleration lands in the online phase.  Shape claims: online
+speedup > 1 everywhere and its geomean exceeds the overall geomean.
+"""
+
+from conftest import grid_cells
+from repro.bench.reporting import format_speedup_series, geomean
+
+
+def build(grid):
+    labels, online, overall = [], [], []
+    for model, dataset in grid_cells():
+        par = grid.par(model, dataset)
+        sml = grid.sml(model, dataset)
+        labels.append(f"{dataset}/{model}")
+        online.append(sml.online_s() / par.online_s())
+        overall.append(sml.total_s() / par.total_s())
+    return labels, online, overall
+
+
+def test_fig11(grid, benchmark):
+    labels, online, overall = benchmark.pedantic(lambda: build(grid), rounds=1, iterations=1)
+    print()
+    print(format_speedup_series(labels, online,
+                                title="Fig. 11: online speedup (paper avg 64.5x, > overall)"))
+    assert all(s > 1.0 for s in online)
+    assert geomean(online) >= geomean(overall), (
+        "online speedup must exceed overall: the GPU work is online"
+    )

@@ -1,0 +1,35 @@
+"""Fig. 12 — offline-phase speedup of ParSecureML over SecureML.
+
+Paper: ~1.3x, similar across benchmarks — modest, because only the
+``Z = U x V`` product (and, where profitable, encryption) moves to the
+GPU while the rest of the offline phase is unchanged shared
+infrastructure.  Shape claims: offline speedups are small single-digit
+factors, far below the online speedups, and relatively uniform.
+"""
+
+from conftest import grid_cells
+from repro.bench.reporting import format_speedup_series, geomean
+
+
+def build(grid):
+    labels, offline, online = [], [], []
+    for model, dataset in grid_cells():
+        par = grid.par(model, dataset)
+        sml = grid.sml(model, dataset)
+        labels.append(f"{dataset}/{model}")
+        offline.append(sml.offline_s() / par.offline_s())
+        online.append(sml.online_s() / par.online_s())
+    return labels, offline, online
+
+
+def test_fig12(grid, benchmark):
+    labels, offline, online = benchmark.pedantic(lambda: build(grid), rounds=1, iterations=1)
+    print()
+    print(format_speedup_series(labels, offline,
+                                title="Fig. 12: offline speedup (paper ~1.3x, modest & uniform)"))
+    assert all(s >= 0.95 for s in offline)
+    g_off, g_on = geomean(offline), geomean(online)
+    assert g_off < 10.0, f"offline speedup {g_off:.1f}x should be modest"
+    assert g_off < g_on / 2, "offline acceleration is far below online"
+    # relatively uniform across benchmarks (same dominant costs)
+    assert max(offline) / min(offline) < 25

@@ -1,0 +1,36 @@
+"""Fig. 13 — inference (forward-pass) speedup of ParSecureML.
+
+Paper: average 31.7x.  Linear regression stands in for SVM as well (the
+paper: "the inference results of both linear regression and SVM are
+calculated by w^T x + b, so we only show the result of linear
+regression").  Shape claims: > 1x everywhere, geomean in the tens-ish
+range, comparable to the training speedup.
+"""
+
+from conftest import grid_cells
+from repro.bench.reporting import format_speedup_series, geomean
+
+
+def cells():
+    # the paper's Fig. 13 set: drop SVM (folded into linear)
+    return [(m, d) for (m, d) in grid_cells() if m != "SVM"]
+
+
+def build(grid):
+    labels, speedups = [], []
+    for model, dataset in cells():
+        par = grid.par_infer(model, dataset)
+        sml = grid.sml_infer(model, dataset)
+        labels.append(f"{dataset}/{model}")
+        speedups.append(sml.total_s() / par.total_s())
+    return labels, speedups
+
+
+def test_fig13(grid, benchmark):
+    labels, speedups = benchmark.pedantic(lambda: build(grid), rounds=1, iterations=1)
+    print()
+    print(format_speedup_series(labels, speedups,
+                                title="Fig. 13: secure inference speedup (paper avg 31.7x)"))
+    assert all(s > 1.0 for s in speedups)
+    g = geomean(speedups)
+    assert 1.5 < g < 120.0

@@ -1,0 +1,105 @@
+"""Extension demo: secure ResNet + momentum + checkpointing.
+
+Combines the reproduction's extension features in one workflow:
+
+1. train a small secure ResNet (Section 7.7's "more advanced models"
+   claim) with momentum SGD — both run entirely on shares;
+2. checkpoint the shared model (one archive per server, each useless
+   alone);
+3. reload into a fresh deployment and fine-tune only the head (frozen
+   feature extractor), the setting where delta compression pays.
+
+Run:  python examples/resnet_transfer_learning.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import (
+    FrameworkConfig,
+    MomentumSGD,
+    SecureContext,
+    SecureResNet,
+    SharedTensor,
+    load_model,
+    save_model,
+)
+from repro.datasets import cifar10_like
+
+IMAGE = (12, 12, 1)
+FEATURES = 144
+
+
+def _clear_grads(layer) -> None:
+    """Drop pending gradients on a layer and its nested sub-layers."""
+    for attr in ("_grad_w", "_grad_b"):
+        if getattr(layer, attr, None) is not None:
+            setattr(layer, attr, None)
+    for value in vars(layer).values():
+        if hasattr(value, "__dict__") and hasattr(value, "forward"):
+            _clear_grads(value)
+
+
+def train(ctx, model, x, y, *, epochs, lr, batch=32, freeze_below=None):
+    opt = MomentumSGD(lr=lr, momentum=0.875)
+    losses = []
+    for _ in range(epochs):
+        for lo in range(0, x.shape[0] - batch + 1, batch):
+            xb = SharedTensor.from_plain(ctx, x[lo : lo + batch], label="x")
+            yb = SharedTensor.from_plain(ctx, y[lo : lo + batch], label="y")
+            pred = model.forward(xb, training=True)
+            model.backward(pred - yb)
+            if freeze_below is not None:
+                for layer in model.layers[:freeze_below]:
+                    _clear_grads(layer)
+            opt.step(model)
+            losses.append(float(np.mean((pred.decode() - y[lo : lo + batch]) ** 2)))
+    return losses
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    x, _ = cifar10_like(128, seed=1, image_shape=IMAGE)
+    proj = rng.normal(size=(FEATURES, 4)) * 0.2
+    y = np.tanh(x @ proj)  # a learnable planted target
+
+    # 1. train the base model securely
+    ctx = SecureContext(FrameworkConfig.parsecureml(seed=5))
+    model = SecureResNet(ctx, IMAGE, channels=2, n_blocks=1, n_out=4)
+    losses = train(ctx, model, x, y, epochs=6, lr=0.03)
+    print(f"base training loss: {losses[0]:.4f} -> {losses[-1]:.4f}")
+
+    # 2. checkpoint: each server persists only its share
+    ckpt_dir = Path(tempfile.mkdtemp()) / "resnet-ckpt"
+    save_model(model, ckpt_dir)
+    print(f"checkpointed to {ckpt_dir} "
+          f"({[p.name for p in sorted(ckpt_dir.iterdir())]})")
+
+    # 3. reload into a fresh deployment and fine-tune only the head
+    ctx2 = SecureContext(FrameworkConfig.parsecureml(seed=6))
+    model2 = SecureResNet(ctx2, IMAGE, channels=2, n_blocks=1, n_out=4)
+    load_model(model2, ckpt_dir)
+    for a, b in zip(model.parameters(), model2.parameters()):
+        assert np.array_equal(a.decode(), b.decode())
+    print("reload check: parameters identical across deployments ✓")
+
+    x_new, _ = cifar10_like(96, seed=2, image_shape=IMAGE)
+    y_new = np.tanh(x_new @ proj)  # same task family, new data
+    ft_losses = train(
+        ctx2, model2, x_new, y_new, epochs=2, lr=0.05,
+        freeze_below=len(model2.layers) - 1,  # only the dense head learns
+    )
+    print(f"fine-tune loss (head only): {ft_losses[0]:.4f} -> {ft_losses[-1]:.4f}")
+    stats = ctx2.compression_stats
+    print(f"fine-tune comm: {stats.wire_bytes / 1e6:.2f} MB wire vs "
+          f"{stats.raw_bytes / 1e6:.2f} MB raw "
+          f"({stats.savings_fraction:.1%} saved — conv workloads are "
+          f"activation-stream-dominated, so frozen tiny filters barely move "
+          f"the total; see examples/secure_inference_service.py for the "
+          f"weight-heavy case)")
+
+
+if __name__ == "__main__":
+    main()

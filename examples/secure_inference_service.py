@@ -1,0 +1,77 @@
+"""Secure inference service: deploy a trained model behind 2PC.
+
+The deployment the paper's Fig. 13 targets: a model owner trains in the
+clear on their own hardware, then serves predictions on untrusted cloud
+servers — the model weights and every query stay secret-shared.  This
+example:
+
+1. trains a plain face-recognition-style MLP locally (VGGFace2-like
+   images, downscaled for the demo);
+2. installs its weights into the secure stack as shares;
+3. answers queries with the secure forward pass, checking the answers
+   match the plain model bit-for-fixed-point;
+4. reports latency/throughput and what the delta compression saves —
+   inference is the setting where the Section 4.4 optimisation shines,
+   because the weight streams never change.
+
+Run:  python examples/secure_inference_service.py
+"""
+
+import numpy as np
+
+from repro.baselines.plain import PlainMLP, PlainTimer, PlainTrainer
+from repro.core import FrameworkConfig, SecureContext, SecureMLP, secure_predict
+from repro.datasets import vggface2_like
+
+IMAGE = (40, 40, 1)  # demo-scale stand-in for the paper's 200x200 faces
+FEATURES = 40 * 40
+N_CLASSES = 10
+BATCH = 64
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 1. Model owner trains in the clear.
+    x_train, y_train = vggface2_like(512, seed=1, image_shape=IMAGE)
+    plain = PlainMLP(FEATURES, hidden=(64, 32), n_out=N_CLASSES, seed=3)
+    PlainTrainer(plain, PlainTimer("cpu"), lr=0.05).train(
+        x_train, y_train, epochs=3, batch_size=BATCH
+    )
+
+    # 2. Deploy: share the trained weights onto the two servers.
+    ctx = SecureContext(FrameworkConfig.parsecureml())
+    service = SecureMLP(ctx, FEATURES, hidden=(64, 32), n_out=N_CLASSES)
+    dense_secure = [l for l in service.layers if hasattr(l, "weight")]
+    dense_plain = [l for l in plain.layers if hasattr(l, "w")]
+    for ls, lp in zip(dense_secure, dense_plain):
+        wp = ctx.share_plain(lp.w, label=f"deploy/{ls.name}/W")
+        bp = ctx.share_plain(lp.b, label=f"deploy/{ls.name}/b")
+        ls.weight.shares = (wp.share0, wp.share1)
+        ls.bias.shares = (bp.share0, bp.share1)
+
+    # 3. Serve queries securely and validate against the plain model.
+    x_query, _ = vggface2_like(4 * BATCH, seed=2, image_shape=IMAGE)
+    report = secure_predict(ctx, service, x_query, batch_size=BATCH)
+    plain_pred = plain.forward(x_query, PlainTimer("cpu"), training=False)
+    secure_cls = report.predictions.argmax(axis=1)
+    plain_cls = plain_pred.argmax(axis=1)
+    agreement = float(np.mean(secure_cls == plain_cls))
+    max_err = float(np.abs(report.predictions - plain_pred).max())
+    print(f"served {report.samples} queries in {report.batches} secure batches")
+    print(f"prediction agreement with the plain model: {agreement:.1%} "
+          f"(max logit deviation {max_err:.2e})")
+
+    # 4. Cost profile of the service.
+    per_batch_ms = report.marginal_online_s * 1e3
+    print(f"online latency: {per_batch_ms:.2f} ms (simulated) per {BATCH}-query batch "
+          f"-> {BATCH / report.marginal_online_s:,.0f} queries/s")
+    stats = ctx.compression_stats
+    print(f"inter-server traffic: {stats.wire_bytes / 1e6:.2f} MB on the wire "
+          f"for {stats.raw_bytes / 1e6:.2f} MB raw "
+          f"({stats.savings_fraction:.1%} saved by delta compression — "
+          f"weight streams are constant at inference time)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment ships setuptools without the ``wheel`` package and has no
+network access, so PEP-517 editable installs cannot build a wheel.  This
+shim lets ``pip install -e . --no-build-isolation`` fall back to the
+setup.py develop path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""ParSecureML reproduction — parallel secure machine learning framework.
+
+The public API re-exports the pieces a downstream user needs:
+
+* :class:`repro.core.context.SecureContext` — wires a client and two
+  servers with simulated GPUs and network channels;
+* :class:`repro.core.tensor.SharedTensor` — a secret-shared matrix;
+* the secure models in :mod:`repro.core.models`;
+* the baselines in :mod:`repro.baselines` for comparison runs.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"

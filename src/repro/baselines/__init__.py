@@ -1,0 +1,39 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.plain` — non-secure training/inference of the
+  same six models in plain floating point, timed on the CPU (Table 1's
+  "Original") or the simulated GPU (Table 2's "GPU time");
+* :mod:`repro.baselines.secureml` — the SecureML baseline: the same
+  two-party protocol stack run CPU-only with no pipelines, compression,
+  or Tensor Cores, exactly the configuration the paper reimplements
+  from Mohassel & Zhang [10];
+* :mod:`repro.baselines.smo` — a real sequential-minimal-optimization
+  SVM trainer (the paper's plain-text SVM reference).
+"""
+
+from repro.baselines.plain import (
+    PlainMLP,
+    PlainCNN,
+    PlainRNN,
+    PlainLinearRegression,
+    PlainLogisticRegression,
+    PlainSVM,
+    PlainTrainer,
+    PlainReport,
+)
+from repro.baselines.secureml import make_secureml_context, make_parsecureml_context
+from repro.baselines.smo import SMOSVM
+
+__all__ = [
+    "PlainMLP",
+    "PlainCNN",
+    "PlainRNN",
+    "PlainLinearRegression",
+    "PlainLogisticRegression",
+    "PlainSVM",
+    "PlainTrainer",
+    "PlainReport",
+    "make_secureml_context",
+    "make_parsecureml_context",
+    "SMOSVM",
+]

@@ -1,0 +1,35 @@
+"""SecureML baseline and ParSecureML context factories.
+
+The paper evaluates against its own reimplementation of SecureML
+(Mohassel & Zhang, S&P'17): the identical two-party protocol executed
+entirely on CPUs, with none of ParSecureML's systems optimisations.
+Because our core framework exposes every optimisation as a config
+switch, the baseline is simply the same stack under
+:meth:`~repro.core.config.FrameworkConfig.secureml`:
+
+* all steps placed on the CPU (no GPU, no Tensor Cores);
+* no pipeline 1 (nothing to overlap without a GPU) and no pipeline 2
+  (sequential step chaining, Fig. 6a);
+* no compressed transmission;
+* single-threaded CPU helpers (no Section 5.1 parallelism).
+
+Protocol transcripts are identical between the two configurations —
+tests assert that a model trained under either produces the same
+decoded parameters given the same seed — so every measured difference
+is attributable to the systems work, which is the paper's claim.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FrameworkConfig
+from repro.core.context import SecureContext
+
+
+def make_secureml_context(**overrides) -> SecureContext:
+    """A context in SecureML mode (the paper's baseline)."""
+    return SecureContext(FrameworkConfig.secureml(**overrides))
+
+
+def make_parsecureml_context(**overrides) -> SecureContext:
+    """A context with the full ParSecureML optimisation set."""
+    return SecureContext(FrameworkConfig.parsecureml(**overrides))

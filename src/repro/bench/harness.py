@@ -1,0 +1,200 @@
+"""Run one benchmark cell and extrapolate to paper scale.
+
+The harness runs a small number of *real* batches (full protocol, full
+numerics) and scales the marginal per-batch simulated cost to the
+paper's sample counts — legitimate because the per-batch protocol work
+is identical across batches (same shapes, same ops) and the simulated
+clock is deterministic.  One-time setup (triplet-stream generation) is
+kept separate and added once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.workloads import WorkloadSpec, build_plain_model, build_secure_model, load_workload
+from repro.baselines.plain import PlainTimer, PlainTrainer
+from repro.core.config import FrameworkConfig
+from repro.core.context import SecureContext
+from repro.core.inference import secure_predict
+from repro.core.tensor import SharedTensor
+from repro.core.training import SecureTrainer
+
+
+@dataclass
+class SecureRunResult:
+    """Measured + extrapolated costs of one secure run.
+
+    Extrapolation model: offline = one-shot dataset sharing (linear in
+    sample count) + one-time triplet setup; online = marginal per-batch
+    cost x batch count.
+    """
+
+    spec: WorkloadSpec
+    measured_batches: int
+    measured_samples: int
+    sharing_offline_s: float
+    setup_offline_s: float
+    per_batch_online_s: float
+    server_bytes: int
+    raw_comm_bytes: int
+    wire_comm_bytes: int
+    losses: list
+
+    def offline_s(self, n_batches: int | None = None) -> float:
+        n = self.spec.paper_batches if n_batches is None else n_batches
+        samples = n * self.spec.batch_size
+        scale = samples / max(self.measured_samples, 1)
+        return self.sharing_offline_s * scale + self.setup_offline_s
+
+    def online_s(self, n_batches: int | None = None) -> float:
+        n = self.spec.paper_batches if n_batches is None else n_batches
+        return self.per_batch_online_s * n
+
+    def total_s(self, n_batches: int | None = None) -> float:
+        return self.offline_s(n_batches) + self.online_s(n_batches)
+
+    @property
+    def occupancy(self) -> float:
+        total = self.total_s()
+        return self.online_s() / total if total else 0.0
+
+    @property
+    def compression_savings(self) -> float:
+        if self.raw_comm_bytes == 0:
+            return 0.0
+        return 1.0 - self.wire_comm_bytes / self.raw_comm_bytes
+
+
+@dataclass
+class PlainRunResult:
+    """Measured + extrapolated costs of one plain (non-secure) run."""
+
+    spec: WorkloadSpec
+    measured_batches: int
+    per_batch_s: float
+    losses: list
+
+    def total_s(self, n_batches: int | None = None) -> float:
+        n = self.spec.paper_batches if n_batches is None else n_batches
+        return self.per_batch_s * n
+
+
+def run_secure(
+    model_name: str,
+    dataset: str,
+    config: FrameworkConfig,
+    *,
+    n_batches: int = 2,
+    batch_size: int = 128,
+    seed: int = 0,
+    lr: float = 0.03125,
+    full_scale: bool = False,
+) -> SecureRunResult:
+    """Train one secure grid cell for ``n_batches`` real batches."""
+    x, y, spec = load_workload(
+        model_name, dataset, n_batches=n_batches, batch_size=batch_size, seed=seed,
+        full_scale=full_scale,
+    )
+    ctx = SecureContext(config)
+    model = build_secure_model(ctx, spec)
+    trainer = SecureTrainer(ctx, model, lr=lr, monitor_loss=False)
+    report = trainer.train(x, y, epochs=1, batch_size=batch_size)
+    return SecureRunResult(
+        spec=spec,
+        measured_batches=report.batches,
+        measured_samples=report.dataset_samples,
+        sharing_offline_s=report.sharing_offline_s,
+        setup_offline_s=report.setup_offline_s,
+        per_batch_online_s=report.marginal_online_s,
+        server_bytes=report.server_bytes,
+        raw_comm_bytes=report.raw_comm_bytes,
+        wire_comm_bytes=report.wire_comm_bytes,
+        losses=report.losses,
+    )
+
+
+def run_plain(
+    model_name: str,
+    dataset: str,
+    device: str,
+    *,
+    n_batches: int = 2,
+    batch_size: int = 128,
+    seed: int = 0,
+    lr: float = 0.03125,
+    tensor_core: bool = False,
+    full_scale: bool = False,
+) -> PlainRunResult:
+    """Train one plain grid cell on 'cpu' or 'gpu' timing."""
+    x, y, spec = load_workload(
+        model_name, dataset, n_batches=n_batches, batch_size=batch_size, seed=seed,
+        full_scale=full_scale,
+    )
+    timer = PlainTimer(device, tensor_core=tensor_core)
+    model = build_plain_model(spec, seed=seed)
+    trainer = PlainTrainer(model, timer, lr=lr)
+    report = trainer.train(x, y, epochs=1, batch_size=batch_size)
+    return PlainRunResult(
+        spec=spec,
+        measured_batches=report.batches,
+        per_batch_s=report.seconds / max(report.batches, 1),
+        losses=report.losses,
+    )
+
+
+def run_secure_inference(
+    model_name: str,
+    dataset: str,
+    config: FrameworkConfig,
+    *,
+    n_batches: int = 2,
+    batch_size: int = 128,
+    seed: int = 0,
+) -> SecureRunResult:
+    """Forward-only secure run (Fig. 13)."""
+    x, _y, spec = load_workload(
+        model_name, dataset, n_batches=n_batches, batch_size=batch_size, seed=seed
+    )
+    ctx = SecureContext(config)
+    model = build_secure_model(ctx, spec)
+    rep = secure_predict(ctx, model, x, batch_size=batch_size, max_batches=n_batches)
+    return SecureRunResult(
+        spec=spec,
+        measured_batches=rep.batches,
+        measured_samples=rep.dataset_samples,
+        sharing_offline_s=rep.sharing_offline_s,
+        setup_offline_s=rep.setup_offline_s,
+        per_batch_online_s=rep.marginal_online_s,
+        server_bytes=rep.server_bytes,
+        raw_comm_bytes=0,
+        wire_comm_bytes=0,
+        losses=[],
+    )
+
+
+def run_plain_inference(
+    model_name: str,
+    dataset: str,
+    device: str,
+    *,
+    n_batches: int = 2,
+    batch_size: int = 128,
+    seed: int = 0,
+    tensor_core: bool = False,
+) -> PlainRunResult:
+    x, _y, spec = load_workload(
+        model_name, dataset, n_batches=n_batches, batch_size=batch_size, seed=seed
+    )
+    timer = PlainTimer(device, tensor_core=tensor_core)
+    model = build_plain_model(spec, seed=seed)
+    trainer = PlainTrainer(model, timer)
+    _, seconds = trainer.predict(x, batch_size=batch_size, max_batches=n_batches)
+    return PlainRunResult(
+        spec=spec,
+        measured_batches=n_batches,
+        per_batch_s=seconds / max(n_batches, 1),
+        losses=[],
+    )

@@ -1,0 +1,63 @@
+"""Plain-text tables and series matching the paper's presentation."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the right average for speedup ratios)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def _fmt(value, width: int) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            text = f"{value:.3e}"
+        else:
+            text = f"{value:,.2f}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(rows: list[dict], columns: list[str], *, title: str = "") -> str:
+    """Aligned text table; columns pulled from each row dict by name."""
+    widths = {
+        col: max(len(col), *(len(_fmt(row.get(col, ""), 0).strip()) for row in rows))
+        if rows
+        else len(col)
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header = " | ".join(col.rjust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(" | ".join(_fmt(row.get(col, ""), widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def format_speedup_series(
+    labels: list[str], speedups: list[float], *, title: str = "", bar_width: int = 40
+) -> str:
+    """Horizontal-bar rendering of a speedup figure (Figs. 10-16 style)."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    top = max(speedups) if speedups else 1.0
+    name_w = max((len(l) for l in labels), default=4)
+    for label, s in zip(labels, speedups):
+        bar = "#" * max(1, int(bar_width * s / top)) if top > 0 else ""
+        lines.append(f"{label:<{name_w}}  {s:8.2f}x  {bar}")
+    if speedups:
+        lines.append(f"{'geomean':<{name_w}}  {geomean(speedups):8.2f}x")
+    return "\n".join(lines)

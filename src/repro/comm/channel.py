@@ -1,0 +1,88 @@
+"""Simulated network links with byte-exact accounting.
+
+A :class:`Channel` is a full-duplex point-to-point link between two named
+endpoints.  Each direction is its own serial resource on the shared
+:class:`~repro.simgpu.clock.SimClock`, so two servers exchanging their
+``E_i``/``F_i`` halves simultaneously (paper Eq. 5) genuinely overlap —
+exactly the behaviour of the paper's InfiniBand fabric.
+
+Transfer time = per-message latency + bytes / bandwidth.  Every byte is
+also tallied in :attr:`bytes_sent`, which is what the compression
+experiment (Fig. 16) reads out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simgpu.clock import SimClock, Task
+from repro.util.errors import TransportError
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Physical parameters of a link."""
+
+    name: str
+    bandwidth_gbps: float  # GB/s (bytes, not bits)
+    latency_s: float
+
+    def transfer_seconds(self, nbytes: float) -> float:
+        return self.latency_s + nbytes / (self.bandwidth_gbps * 1e9)
+
+
+# 100 Gb/s 4xEDR InfiniBand (paper Section 7.1): ~12.5 GB/s, ~1.5 us MPI latency.
+INFINIBAND_100G = LinkSpec(name="4xEDR-IB", bandwidth_gbps=12.0, latency_s=1.5e-6)
+# A slower option for sensitivity studies (SecureML's original EC2-style LAN).
+ETHERNET_10G = LinkSpec(name="10GbE", bandwidth_gbps=1.1, latency_s=30e-6)
+
+
+class Channel:
+    """Full-duplex link between endpoints ``a`` and ``b``."""
+
+    def __init__(self, clock: SimClock, spec: LinkSpec, a: str, b: str):
+        self.clock = clock
+        self.spec = spec
+        self.a = a
+        self.b = b
+        self._dir = {
+            (a, b): f"link.{a}->{b}",
+            (b, a): f"link.{b}->{a}",
+        }
+        for res in self._dir.values():
+            clock.add_resource(res)
+        self.bytes_sent: dict[tuple[str, str], int] = {(a, b): 0, (b, a): 0}
+        self.messages_sent: dict[tuple[str, str], int] = {(a, b): 0, (b, a): 0}
+
+    def send(self, src: str, dst: str, nbytes: int, deps=(), label: str = "msg") -> Task:
+        """Charge one message of ``nbytes`` from ``src`` to ``dst``.
+
+        Returns the delivery task; the receiver's next step should depend
+        on it.
+        """
+        key = (src, dst)
+        if key not in self._dir:
+            raise TransportError(
+                f"channel {self.a}<->{self.b} does not connect {src} to {dst}"
+            )
+        if nbytes < 0:
+            raise TransportError(f"negative message size {nbytes}")
+        self.bytes_sent[key] += int(nbytes)
+        self.messages_sent[key] += 1
+        return self.clock.run(
+            self._dir[key], self.spec.transfer_seconds(nbytes), deps=deps, label=label
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_sent.values())
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_sent.values())
+
+    def reset_counters(self) -> None:
+        for key in self.bytes_sent:
+            self.bytes_sent[key] = 0
+            self.messages_sent[key] = 0

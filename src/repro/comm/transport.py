@@ -1,0 +1,93 @@
+"""In-process transport: MPI-like ordered point-to-point messaging.
+
+The paper's client and two servers talk over MPI; here all three run in
+one process, each as a :class:`~repro.core.parties` role object, and the
+:class:`TransportHub` gives them the same communication surface mpi4py
+would: ``send(dst, tag, payload)`` / ``recv(src, tag)`` with per-(src,
+dst, tag) FIFO ordering.
+
+Physical time is *not* modelled here — payloads are delivered
+immediately so the lockstep protocol simulation can proceed — it is
+charged separately on the :class:`~repro.comm.channel.Channel` by the
+caller, which knows the wire size (possibly compressed) and the
+dependency structure.  Keeping "what was said" (transport) apart from
+"what it cost" (channel) is what lets the same protocol code run under
+different network models.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.errors import TransportError
+
+
+@dataclass
+class _Envelope:
+    src: str
+    dst: str
+    tag: str
+    payload: Any
+
+
+class Mailbox:
+    """One endpoint's receive queues, keyed by (src, tag)."""
+
+    def __init__(self, owner: str):
+        self.owner = owner
+        self._queues: dict[tuple[str, str], deque] = {}
+
+    def _queue(self, src: str, tag: str) -> deque:
+        return self._queues.setdefault((src, tag), deque())
+
+    def deliver(self, env: _Envelope) -> None:
+        self._queue(env.src, env.tag).append(env.payload)
+
+    def recv(self, src: str, tag: str) -> Any:
+        """Pop the oldest message from ``src`` with ``tag``.
+
+        Raises :class:`TransportError` when nothing is pending — in the
+        lockstep simulation a missing message is always a protocol bug,
+        so failing loudly beats blocking forever.
+        """
+        q = self._queue(src, tag)
+        if not q:
+            raise TransportError(
+                f"{self.owner}: no pending message from {src!r} with tag {tag!r}"
+            )
+        return q.popleft()
+
+    def pending(self, src: str, tag: str) -> int:
+        return len(self._queue(src, tag))
+
+
+class TransportHub:
+    """Connects a fixed set of endpoints with reliable FIFO delivery."""
+
+    def __init__(self, endpoints: list[str]):
+        if len(set(endpoints)) != len(endpoints):
+            raise TransportError(f"duplicate endpoint names: {endpoints}")
+        self.mailboxes = {name: Mailbox(name) for name in endpoints}
+        self.messages_delivered = 0
+
+    def send(self, src: str, dst: str, tag: str, payload: Any) -> None:
+        if src not in self.mailboxes:
+            raise TransportError(f"unknown sender {src!r}")
+        if dst not in self.mailboxes:
+            raise TransportError(f"unknown recipient {dst!r}")
+        if src == dst:
+            raise TransportError(f"{src!r} attempted to message itself")
+        self.mailboxes[dst].deliver(_Envelope(src=src, dst=dst, tag=tag, payload=payload))
+        self.messages_delivered += 1
+
+    def recv(self, dst: str, src: str, tag: str) -> Any:
+        return self.mailboxes[dst].recv(src, tag)
+
+    def exchange(self, a: str, b: str, tag: str, payload_a: Any, payload_b: Any) -> tuple[Any, Any]:
+        """Symmetric swap: ``a`` sends to ``b`` and vice versa, then both
+        receive.  The pattern of the paper's Eq. 5 reconstruct round."""
+        self.send(a, b, tag, payload_a)
+        self.send(b, a, tag, payload_b)
+        return self.recv(a, b, tag), self.recv(b, a, tag)

@@ -1,0 +1,352 @@
+"""SecureContext: the wired-up client + two-server deployment.
+
+Mirrors the paper's Fig. 3 topology on simulated hardware:
+
+* the **client** (data owner / trusted dealer) owns a CPU and a GPU on
+  the *offline clock*: it encrypts (shares) inputs, generates Beaver
+  triplets — accelerating ``Z = U x V`` on its GPU per Section 4.2 — and
+  uploads the encrypted parts to the servers;
+* **server 0 / server 1** each own a CPU and a GPU on the *online
+  clock*; they run the reconstruct (CPU + inter-server channel) and GPU
+  operation steps;
+* the servers are linked by a 100 Gb/s channel with per-direction
+  :class:`~repro.comm.compression.DeltaCompressor` state.
+
+Two clocks, one rationale: the paper reports offline and online phases
+as disjoint (Table 3 "occupancy"), with the offline phase completing
+before the online phase starts.  Keeping each phase on its own clock
+gives exactly that accounting while still modelling overlap *within*
+each phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.channel import Channel
+from repro.comm.compression import CompressionStats, DeltaCompressor
+from repro.core.config import FrameworkConfig
+from repro.fixedpoint.encoding import FixedPointEncoder
+from repro.fixedpoint.ring import ring_matmul, ring_mul, ring_sub
+from repro.mpc.comparison import ComparisonBundle, ComparisonDealer
+from repro.mpc.shares import SharePair, share_secret
+from repro.mpc.triplets import ElementwiseTriplet, MatrixTriplet
+from repro.pipeline.profiler import StepProfiler
+from repro.simgpu.clock import SimClock
+from repro.simgpu.device import SimCPU, SimGPU
+from repro.util.seeding import SeedSequenceFactory
+
+
+@dataclass(frozen=True)
+class PhaseMark:
+    """Snapshot of both clocks, for measuring an experiment window."""
+
+    offline_s: float
+    online_s: float
+    server_bytes: int
+    uplink_bytes: int
+
+
+@dataclass(frozen=True)
+class PhaseDelta:
+    """Difference between two marks: one experiment's cost."""
+
+    offline_s: float
+    online_s: float
+    server_bytes: int
+    uplink_bytes: int
+
+    @property
+    def total_s(self) -> float:
+        return self.offline_s + self.online_s
+
+    @property
+    def occupancy(self) -> float:
+        """Online share of total time (Table 3's metric)."""
+        return self.online_s / self.total_s if self.total_s > 0 else 0.0
+
+
+class SecureContext:
+    """Client + two servers with simulated devices and channels."""
+
+    def __init__(self, config: FrameworkConfig | None = None):
+        self.config = config or FrameworkConfig()
+        cfg = self.config
+        self.encoder = FixedPointEncoder(cfg.frac_bits)
+        self.seeds = SeedSequenceFactory(cfg.seed)
+        self.rng = self.seeds.generator("context")
+
+        # --- offline side (client) -------------------------------------------
+        self.offline_clock = SimClock()
+        self.offline_clock.set_tracing(cfg.trace)
+        # The client's encrypt path uses the Section 5.1 parallel MT19937
+        # design when client_parallel is on (the default in both presets
+        # — shared infrastructure); the cpu_parallel switch governs the
+        # servers (see FrameworkConfig docs and the Fig. 14 ablation).
+        self.client_cpu = SimCPU(
+            self.offline_clock, cfg.cpu_spec, "client", parallel_enabled=cfg.client_parallel
+        )
+        self.client_gpu = (
+            SimGPU(
+                self.offline_clock,
+                cfg.gpu_spec,
+                "clientgpu",
+                n_streams=1,
+                tensor_core=cfg.tensor_core,
+            )
+            if cfg.use_gpu
+            else None
+        )
+        self.uplink0 = Channel(self.offline_clock, cfg.uplink, "client", "server0")
+        self.uplink1 = Channel(self.offline_clock, cfg.uplink, "client", "server1")
+
+        # --- online side (servers) --------------------------------------------
+        self.online_clock = SimClock()
+        self.online_clock.set_tracing(cfg.trace)
+        self.server_cpu = [
+            SimCPU(self.online_clock, cfg.cpu_spec, f"s{i}", parallel_enabled=cfg.cpu_parallel)
+            for i in (0, 1)
+        ]
+        # Pipeline 2 (Fig. 6): with the double pipeline on, each server
+        # runs its reconstruct steps in a dedicated thread, so they can
+        # overlap GPU operations of neighbouring layers.  Without it the
+        # reconstruct work shares the single in-order CPU timeline.
+        if cfg.double_pipeline:
+            self.server_reconstruct_cpu = [
+                SimCPU(
+                    self.online_clock,
+                    cfg.cpu_spec,
+                    f"s{i}rec",
+                    parallel_enabled=cfg.cpu_parallel,
+                )
+                for i in (0, 1)
+            ]
+        else:
+            self.server_reconstruct_cpu = self.server_cpu
+        self.server_gpu = [
+            SimGPU(
+                self.online_clock,
+                cfg.gpu_spec,
+                f"s{i}gpu",
+                n_streams=cfg.n_streams,
+                tensor_core=cfg.tensor_core,
+            )
+            if cfg.use_gpu
+            else None
+            for i in (0, 1)
+        ]
+        self.server_channel = Channel(self.online_clock, cfg.server_link, "server0", "server1")
+        self.compressors = {
+            (0, 1): DeltaCompressor(cfg.compression_threshold, enabled=cfg.compression),
+            (1, 0): DeltaCompressor(cfg.compression_threshold, enabled=cfg.compression),
+        }
+
+        # --- placement & offline material --------------------------------------
+        self.profiler = StepProfiler(
+            cfg.cpu_spec,
+            cfg.gpu_spec,
+            mode=cfg.placement_mode if cfg.use_gpu else "cpu_always",
+            tensor_core=cfg.tensor_core,
+            cpu_parallel=cfg.cpu_parallel,
+        )
+        self.comparison_dealer = ComparisonDealer(self.seeds.generator("comparison-dealer"))
+        self._dealer_rng = self.seeds.generator("triplet-dealer")
+
+        # triplet streams: one triplet per op label, reused across
+        # iterations unless fresh_triplets (see FrameworkConfig docs)
+        self._matrix_triplets: dict[str, MatrixTriplet] = {}
+        self._elementwise_triplets: dict[str, ElementwiseTriplet] = {}
+
+        # counters
+        self.triplets_issued = 0
+        self.comparisons_issued = 0
+
+    # ------------------------------------------------------------------ phases
+
+    def mark(self) -> PhaseMark:
+        return PhaseMark(
+            offline_s=self.offline_clock.now(),
+            online_s=self.online_clock.now(),
+            server_bytes=self.server_channel.total_bytes,
+            uplink_bytes=self.uplink0.total_bytes + self.uplink1.total_bytes,
+        )
+
+    def since(self, mark: PhaseMark) -> PhaseDelta:
+        now = self.mark()
+        return PhaseDelta(
+            offline_s=now.offline_s - mark.offline_s,
+            online_s=now.online_s - mark.online_s,
+            server_bytes=now.server_bytes - mark.server_bytes,
+            uplink_bytes=now.uplink_bytes - mark.uplink_bytes,
+        )
+
+    @property
+    def compression_stats(self) -> CompressionStats:
+        return self.compressors[(0, 1)].stats.merge(self.compressors[(1, 0)].stats)
+
+    # ------------------------------------------------------- offline primitives
+
+    def _charge_client_rng(self, nbytes: int, label: str) -> None:
+        decision = self.profiler.place_rng(nbytes)
+        if decision.placement == "gpu" and self.client_gpu is not None:
+            # cuRAND generation + copy-back (the Fig. 7 trade-off; the
+            # profiler only lands here for large matrices).
+            gpu = self.client_gpu
+            t = gpu.clock.run(
+                gpu.stream(0), gpu.spec.curand_seconds(nbytes), label=f"{label}:curand"
+            )
+            gpu.clock.run(
+                gpu.d2h_engine, gpu.spec.transfer_seconds(nbytes), deps=(t,), label=f"{label}:d2h"
+            )
+            return
+        self.client_cpu.run(
+            self.config.cpu_spec.rng_seconds(nbytes, parallel=self.config.client_parallel),
+            label=label,
+        )
+
+    def _charge_client_elementwise(self, nbytes: int, label: str) -> None:
+        self.client_cpu.run(
+            self.config.cpu_spec.elementwise_seconds(
+                nbytes, parallel=self.config.client_parallel
+            ),
+            label=label,
+        )
+
+    def _upload(self, nbytes_per_server: int, label: str) -> None:
+        """Charge the client->server transfer of offline material."""
+        self.uplink0.send("client", "server0", nbytes_per_server, label=label)
+        self.uplink1.send("client", "server1", nbytes_per_server, label=label)
+
+    def _client_matmul(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Z = U x V on the client, GPU-accelerated when profitable.
+
+        The paper's offline acceleration: this one product is >90% of
+        the offline compute, so it goes to the client GPU; everything
+        else stays on the CPU (Section 4.2).
+        """
+        m, k = u.shape
+        n = v.shape[1]
+        decision = self.profiler.place_gemm(m, k, n, operands_on_gpu=False)
+        if decision.placement == "gpu" and self.client_gpu is not None:
+            gpu = self.client_gpu
+            u_buf, t_u = gpu.h2d(u, label="offline:h2d:U")
+            v_buf, t_v = gpu.h2d(v, label="offline:h2d:V")
+            z_buf, t_z = gpu.gemm_ring(u_buf, v_buf, deps=(t_u, t_v), label="offline:U@V")
+            z, _ = gpu.d2h(z_buf, deps=(t_z,), label="offline:d2h:Z")
+            for b in (u_buf, v_buf, z_buf):
+                gpu.free(b)
+            return z
+        z, _ = self.client_cpu.gemm_ring(u, v, label="offline:U@V")
+        return z
+
+    def _share_with_timing(self, secret: np.ndarray, label: str) -> SharePair:
+        """share_secret plus the client-side cost it implies."""
+        self._charge_client_rng(secret.nbytes, f"{label}:rng")
+        self._charge_client_elementwise(2 * secret.nbytes, f"{label}:split")
+        return share_secret(secret, self.rng)
+
+    def share_plain(self, plain: np.ndarray, label: str = "input") -> SharePair:
+        """Encode and secret-share client data; charges encrypt + upload.
+
+        The float->ring encoding is the dominant cost of the client's
+        "generate the encrypted data" step (paper Fig. 2) and is common
+        to both evaluated systems.
+        """
+        encoded = self.encoder.encode(plain)
+        self.client_cpu.run(
+            encoded.nbytes / (self.config.cpu_spec.encode_gbps * 1e9),
+            label=f"{label}:encode",
+        )
+        pair = self._share_with_timing(encoded, label)
+        self._upload(encoded.nbytes, f"{label}:upload")
+        return pair
+
+    def share_ring(self, encoded: np.ndarray, label: str = "input") -> SharePair:
+        """Share an already-encoded ring matrix."""
+        pair = self._share_with_timing(encoded, label)
+        self._upload(encoded.nbytes, f"{label}:upload")
+        return pair
+
+    def gen_matrix_triplet(self, shape_a, shape_b) -> MatrixTriplet:
+        """Offline generation of one matrix Beaver triplet, fully costed."""
+        rng = self._dealer_rng
+        u = rng.integers(0, 2**64, size=shape_a, dtype=np.uint64)
+        v = rng.integers(0, 2**64, size=shape_b, dtype=np.uint64)
+        self._charge_client_rng(u.nbytes + v.nbytes, "triplet:rng")
+        z = self._client_matmul(u, v)
+        triplet = MatrixTriplet(
+            u=self._share_with_timing(u, "triplet:U"),
+            v=self._share_with_timing(v, "triplet:V"),
+            z=self._share_with_timing(z, "triplet:Z"),
+            shape_a=tuple(shape_a),
+            shape_b=tuple(shape_b),
+        )
+        self._upload(u.nbytes + v.nbytes + z.nbytes, "triplet:upload")
+        self.triplets_issued += 1
+        return triplet
+
+    def gen_elementwise_triplet(self, shape) -> ElementwiseTriplet:
+        rng = self._dealer_rng
+        u = rng.integers(0, 2**64, size=shape, dtype=np.uint64)
+        v = rng.integers(0, 2**64, size=shape, dtype=np.uint64)
+        self._charge_client_rng(u.nbytes + v.nbytes, "etriplet:rng")
+        z = ring_mul(u, v)
+        self._charge_client_elementwise(3 * u.nbytes, "etriplet:mul")
+        triplet = ElementwiseTriplet(
+            u=self._share_with_timing(u, "etriplet:U"),
+            v=self._share_with_timing(v, "etriplet:V"),
+            z=self._share_with_timing(z, "etriplet:Z"),
+            shape=tuple(shape),
+        )
+        self._upload(3 * u.nbytes, "etriplet:upload")
+        self.triplets_issued += 1
+        return triplet
+
+    def get_matrix_triplet(self, label: str, shape_a, shape_b) -> MatrixTriplet:
+        """The triplet for op stream ``label``; cached unless fresh_triplets.
+
+        A cached triplet keeps the same (U, V, Z) for repeated executions
+        of the op — the mask-stability the paper's delta compression
+        depends on.  Shape changes (e.g. a ragged last batch) invalidate
+        the cache entry.
+        """
+        if self.config.fresh_triplets:
+            return self.gen_matrix_triplet(shape_a, shape_b)
+        cached = self._matrix_triplets.get(label)
+        if (
+            cached is None
+            or cached.shape_a != tuple(shape_a)
+            or cached.shape_b != tuple(shape_b)
+        ):
+            cached = self.gen_matrix_triplet(shape_a, shape_b)
+            self._matrix_triplets[label] = cached
+        return cached
+
+    def get_elementwise_triplet(self, label: str, shape) -> ElementwiseTriplet:
+        """Elementwise-triplet analogue of :meth:`get_matrix_triplet`."""
+        if self.config.fresh_triplets:
+            return self.gen_elementwise_triplet(shape)
+        cached = self._elementwise_triplets.get(label)
+        if cached is None or cached.shape != tuple(shape):
+            cached = self.gen_elementwise_triplet(shape)
+            self._elementwise_triplets[label] = cached
+        return cached
+
+    def gen_comparison_bundle(self, shape) -> ComparisonBundle | None:
+        """Offline material for one secure comparison.
+
+        Returns a real bundle under the ``dealer`` protocol; under
+        ``emulated`` only the costs are charged (see
+        :func:`repro.core.ops.secure_compare`); ``None`` in that case.
+        """
+        n = int(np.prod(shape))
+        # Dealer-side generation cost: dominated by the bit-triplet RNG.
+        material_bytes = n * 8 + n * 8 + 3 * 63 * n // 8 + n // 8 + n * 8
+        self._charge_client_rng(material_bytes, "compare:rng")
+        self._upload(material_bytes, "compare:upload")
+        self.comparisons_issued += 1
+        if self.config.activation_protocol == "dealer":
+            return self.comparison_dealer.bundle(tuple(shape))
+        return None

@@ -1,0 +1,92 @@
+"""Secure inference driver (forward pass only).
+
+The paper studies inference as "essentially a sub-process of the
+training protocol (the forward pass)" (Section 7.2, Fig. 13); this
+driver runs exactly that — one offline dataset-sharing step, then
+forward-only online batches — and produces the same phase accounting as
+training so the two speedup figures are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.tensor import SharedTensor
+from repro.util.errors import ConfigError
+
+
+@dataclass
+class InferenceReport:
+    """Cost accounting for one inference run."""
+
+    batches: int
+    samples: int
+    dataset_samples: int
+    offline_s: float
+    online_s: float
+    sharing_offline_s: float
+    setup_offline_s: float
+    server_bytes: int
+    predictions: np.ndarray
+    batch_online_s: list = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        return self.offline_s + self.online_s
+
+    @property
+    def marginal_online_s(self) -> float:
+        tail = self.batch_online_s[1:] or self.batch_online_s
+        return sum(tail) / len(tail) if tail else 0.0
+
+    def extrapolate(self, paper_samples: int, paper_batches: int) -> tuple[float, float]:
+        scale = paper_samples / max(self.dataset_samples, 1)
+        return (
+            self.sharing_offline_s * scale + self.setup_offline_s,
+            self.marginal_online_s * paper_batches,
+        )
+
+
+def secure_predict(
+    ctx,
+    model,
+    x: np.ndarray,
+    *,
+    batch_size: int = 128,
+    max_batches: int | None = None,
+) -> InferenceReport:
+    """Secure forward passes over ``x``; predictions decoded client-side."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ConfigError(f"secure_predict expects 2-D input, got shape {x.shape}")
+    start = ctx.mark()
+    xs = SharedTensor.from_plain(ctx, x, label="infer/x")
+    sharing_offline = ctx.since(start).offline_s
+    outputs = []
+    batch_online = []
+    batches = 0
+    samples = 0
+    for lo in range(0, x.shape[0] - batch_size + 1, batch_size):
+        bmark = ctx.mark()
+        pred = model.forward(xs.row_slice(lo, lo + batch_size), training=False)
+        outputs.append(pred.decode())
+        batch_online.append(ctx.since(bmark).online_s)
+        batches += 1
+        samples += batch_size
+        if max_batches is not None and batches >= max_batches:
+            break
+    delta = ctx.since(start)
+    return InferenceReport(
+        batches=batches,
+        samples=samples,
+        dataset_samples=x.shape[0],
+        offline_s=delta.offline_s,
+        online_s=delta.online_s,
+        sharing_offline_s=sharing_offline,
+        setup_offline_s=max(0.0, delta.offline_s - sharing_offline),
+        server_bytes=delta.server_bytes,
+        predictions=np.concatenate(outputs, axis=0) if outputs else np.empty((0,)),
+        batch_online_s=batch_online,
+    )

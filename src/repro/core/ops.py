@@ -1,0 +1,362 @@
+"""Interactive secure operations with full offline/online cost accounting.
+
+Each op follows the paper's phase structure:
+
+* **offline** — the client generates the Beaver material for the op's
+  stream (charged on the client clock; see
+  :meth:`~repro.core.context.SecureContext.get_matrix_triplet`);
+* **reconstruct** (online, CPU + network) — the servers form the masked
+  differences ``E_i/F_i`` (Eq. 4), exchange them through the
+  delta-compression layer (Section 4.4) and combine (Eq. 5);
+* **GPU operation** (online) — the Eq. 8 product, scheduled on the GPU
+  through pipeline 1 or on the CPU when the profiling-guided placement
+  says the workload is too small to amortise PCIe (Section 4.2);
+* **truncation** — the SecureML local rescale, on the CPU.
+
+All ops thread :class:`~repro.simgpu.clock.Task` dependencies through
+:class:`~repro.core.tensor.SharedTensor.tasks`, which is how pipeline 2
+(cross-layer overlap) is expressed; with ``double_pipeline`` off the
+context serialises every op behind the previous one instead.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.tensor import SharedTensor
+from repro.fixedpoint.ring import ring_add, ring_mul, ring_sub
+from repro.fixedpoint.truncation import truncate_share
+from repro.mpc.comparison import emulated_ge_const, secure_ge_const
+from repro.mpc.protocol import beaver_elementwise_share
+from repro.pipeline.scheduler import schedule_secure_gemm
+from repro.simgpu.clock import Task
+from repro.util.errors import ProtocolError, ShapeError
+
+__all__ = [
+    "secure_matmul",
+    "secure_elementwise_mul",
+    "secure_compare_const",
+    "activation",
+    "truncate",
+]
+
+
+def _deps(*tasks) -> tuple[Task, ...]:
+    return tuple(t for t in tasks if t is not None)
+
+
+def _chain(ctx, deps: tuple[Task, ...]) -> tuple[Task, ...]:
+    """With double_pipeline off, serialise behind the last online op."""
+    if ctx.config.double_pipeline:
+        return deps
+    last = getattr(ctx, "_chain_task", None)
+    return _deps(*deps, last)
+
+
+def _set_chain(ctx, tasks) -> None:
+    if not ctx.config.double_pipeline:
+        ctx._chain_task = ctx.online_clock.join(list(_deps(*tasks)))
+
+
+def _exchange_masked(
+    ctx,
+    label: str,
+    locals_: list[np.ndarray],
+    local_tasks: list[Task | None],
+) -> tuple[np.ndarray, list[Task]]:
+    """Eq. 5: exchange per-server masked matrices and combine.
+
+    ``locals_[i]`` is server i's ``E_i`` (or ``F_i``); returns the public
+    combined matrix plus, per server, the task after which that server
+    holds it.  Transmission goes through each direction's
+    :class:`~repro.comm.compression.DeltaCompressor`.
+    """
+    combined = ring_add(locals_[0], locals_[1])
+    recv_tasks: list[Task] = []
+    send_tasks = {}
+    for src in (0, 1):
+        dst = 1 - src
+        payload = ctx.compressors[(src, dst)].encode(f"{label}/{src}", locals_[src])
+        # Sender-side compression scan (cheap, bandwidth bound).
+        scan = ctx.server_reconstruct_cpu[src].run(
+            ctx.config.cpu_spec.elementwise_seconds(
+                locals_[src].nbytes, parallel=ctx.config.cpu_parallel
+            )
+            * (0.5 if ctx.config.compression else 0.0),
+            deps=_deps(local_tasks[src]),
+            label=f"{label}:compress",
+        )
+        send_tasks[src] = ctx.server_channel.send(
+            f"server{src}", f"server{dst}", payload.wire_bytes, deps=(scan,), label=f"{label}:send"
+        )
+        # Receiver replays the compressor state machine for exactness.
+        decoded = ctx.compressors[(src, dst)].decode(payload)
+        if not np.array_equal(decoded, locals_[src]):  # pragma: no cover - invariant
+            raise ProtocolError(f"compression round-trip mismatch on stream {label}/{src}")
+    for dst in (0, 1):
+        src = 1 - dst
+        combine = ctx.server_reconstruct_cpu[dst].elementwise(
+            ring_add,
+            [locals_[dst], locals_[src]],
+            deps=_deps(local_tasks[dst], send_tasks[src]),
+            label=f"{label}:combine",
+        )[1]
+        recv_tasks.append(combine)
+    return combined, recv_tasks
+
+
+def truncate(x: SharedTensor, *, label: str = "trunc") -> SharedTensor:
+    """Local-truncation rescale of a double-scale product (both servers)."""
+    ctx = x.ctx
+    frac = ctx.encoder.frac_bits
+    shares = []
+    tasks = []
+    for i in (0, 1):
+        result, task = ctx.server_cpu[i].elementwise(
+            lambda s, i=i: truncate_share(s, frac, i),
+            [x.shares[i]],
+            deps=_deps(x.tasks[i]),
+            label=label,
+        )
+        shares.append(result)
+        tasks.append(task)
+    return SharedTensor(ctx=ctx, shares=tuple(shares), kind="fixed", tasks=tuple(tasks))
+
+
+def secure_matmul(
+    x: SharedTensor,
+    y: SharedTensor,
+    *,
+    label: str = "matmul",
+    truncate_result: bool = True,
+) -> SharedTensor:
+    """Secure matrix product ``x @ y`` (Eqs. 4-8 end to end)."""
+    ctx = x.ctx
+    if x.ndim != 2 or y.ndim != 2 or x.shape[1] != y.shape[0]:
+        raise ShapeError(f"secure_matmul shapes incompatible: {x.shape} x {y.shape}")
+    m, k = x.shape
+    n = y.shape[1]
+    both_fixed = x.kind == "fixed" and y.kind == "fixed"
+
+    # --- offline ---------------------------------------------------------------
+    triplet = ctx.get_matrix_triplet(label, x.shape, y.shape)
+
+    # --- reconstruct (online, CPU + network) ------------------------------------
+    e_locals, e_tasks_local = [], []
+    f_locals, f_tasks_local = [], []
+    for i in (0, 1):
+        start = _chain(ctx, _deps(x.tasks[i], y.tasks[i]))
+        e_i, te = ctx.server_reconstruct_cpu[i].elementwise(
+            ring_sub, [x.shares[i], triplet.u[i]], deps=_deps(x.tasks[i], *start), label=f"{label}:E{i}"
+        )
+        f_i, tf = ctx.server_reconstruct_cpu[i].elementwise(
+            ring_sub, [y.shares[i], triplet.v[i]], deps=_deps(y.tasks[i], *start), label=f"{label}:F{i}"
+        )
+        e_locals.append(e_i)
+        f_locals.append(f_i)
+        e_tasks_local.append(te)
+        f_tasks_local.append(tf)
+    e, e_tasks = _exchange_masked(ctx, f"{label}/E", e_locals, e_tasks_local)
+    f, f_tasks = _exchange_masked(ctx, f"{label}/F", f_locals, f_tasks_local)
+
+    # --- GPU operation (online) ---------------------------------------------------
+    decision = ctx.profiler.place_gemm(m, 2 * k, n, operands_on_gpu=False)
+    shares = []
+    tasks = []
+    for i in (0, 1):
+        ready = _deps(e_tasks[i], f_tasks[i])
+        tshare = triplet.share_for(i)
+        if decision.placement == "gpu" and ctx.server_gpu[i] is not None:
+            result = schedule_secure_gemm(
+                ctx.server_gpu[i],
+                i,
+                e,
+                f,
+                x.shares[i],
+                y.shares[i],
+                tshare,
+                deps=ready,
+                pipeline=ctx.config.pipeline1,
+            )
+            shares.append(result.c_share)
+            tasks.append(result.done)
+        else:
+            tshare.mark_consumed()
+            lead = x.shares[i] if i == 0 else ring_sub(x.shares[i], e)
+            left = np.concatenate([lead, e], axis=1)
+            right = np.concatenate([f, y.shares[i]], axis=0)
+            prod, tg = ctx.server_cpu[i].gemm_ring(left, right, deps=ready, label=f"{label}:cpu_gemm")
+            c_i, tc = ctx.server_cpu[i].elementwise(
+                ring_add, [prod, tshare.z], deps=(tg,), label=f"{label}:+Z"
+            )
+            shares.append(c_i)
+            tasks.append(tc)
+    _set_chain(ctx, tasks)
+    out = SharedTensor(ctx=ctx, shares=tuple(shares), kind="fixed", tasks=tuple(tasks))
+    if both_fixed and truncate_result:
+        out = truncate(out, label=f"{label}:trunc")
+    elif not both_fixed:
+        # fixed x indicator (or indicator x fixed) stays at single scale.
+        out.kind = "fixed" if (x.kind == "fixed" or y.kind == "fixed") else "indicator"
+    return out
+
+
+def secure_elementwise_mul(
+    x: SharedTensor, y: SharedTensor, *, label: str = "hadamard"
+) -> SharedTensor:
+    """Secure Hadamard product (the CNN's point-to-point multiplications)."""
+    ctx = x.ctx
+    if x.shape != y.shape:
+        raise ShapeError(f"elementwise shapes differ: {x.shape} vs {y.shape}")
+    triplet = ctx.get_elementwise_triplet(label, x.shape)
+
+    e_locals, e_tasks_local = [], []
+    f_locals, f_tasks_local = [], []
+    for i in (0, 1):
+        start = _chain(ctx, _deps(x.tasks[i], y.tasks[i]))
+        e_i, te = ctx.server_reconstruct_cpu[i].elementwise(
+            ring_sub, [x.shares[i], triplet.u[i]], deps=start, label=f"{label}:E{i}"
+        )
+        f_i, tf = ctx.server_reconstruct_cpu[i].elementwise(
+            ring_sub, [y.shares[i], triplet.v[i]], deps=start, label=f"{label}:F{i}"
+        )
+        e_locals.append(e_i)
+        f_locals.append(f_i)
+        e_tasks_local.append(te)
+        f_tasks_local.append(tf)
+    flat = lambda a: a.reshape(a.shape[0], -1) if a.ndim != 2 else a  # noqa: E731
+    e, e_tasks = _exchange_masked(ctx, f"{label}/E", [flat(v) for v in e_locals], e_tasks_local)
+    f, f_tasks = _exchange_masked(ctx, f"{label}/F", [flat(v) for v in f_locals], f_tasks_local)
+    e = e.reshape(x.shape)
+    f = f.reshape(x.shape)
+
+    nbytes = x.nbytes
+    decision = ctx.profiler.place_elementwise(4 * nbytes, operands_on_gpu=False)
+    shares, tasks = [], []
+    for i in (0, 1):
+        ready = _deps(e_tasks[i], f_tasks[i])
+        tshare = triplet.share_for(i)
+        compute = lambda i=i, tshare=tshare: beaver_elementwise_share(
+            i, e, f, x.shares[i], y.shares[i], tshare
+        )
+        if decision.placement == "gpu" and ctx.server_gpu[i] is not None:
+            gpu = ctx.server_gpu[i]
+            bufs = []
+            tdeps = list(ready)
+            for arr, nm in ((e, "E"), (f, "F"), (x.shares[i], "A"), (y.shares[i], "B")):
+                buf, tt = gpu.h2d(arr, deps=ready, label=f"{label}:h2d:{nm}")
+                bufs.append(buf)
+                tdeps.append(tt)
+            c_i = compute()
+            out_buf = gpu.pool.allocate(c_i)
+            tk = gpu.clock.run(
+                gpu.stream(0),
+                gpu.spec.elementwise_seconds(5 * nbytes),
+                deps=tuple(tdeps),
+                label=f"{label}:kernel",
+            )
+            _, tout = gpu.d2h(out_buf, deps=(tk,), label=f"{label}:d2h")
+            for b in bufs + [out_buf]:
+                gpu.free(b)
+            shares.append(c_i)
+            tasks.append(tout)
+        else:
+            c_i = compute()
+            tk = ctx.server_cpu[i].run(
+                ctx.config.cpu_spec.elementwise_seconds(
+                    5 * nbytes, parallel=ctx.config.cpu_parallel
+                ),
+                deps=ready,
+                label=f"{label}:cpu",
+            )
+            shares.append(c_i)
+            tasks.append(tk)
+    _set_chain(ctx, tasks)
+    out = SharedTensor(ctx=ctx, shares=tuple(shares), kind="fixed", tasks=tuple(tasks))
+    if x.kind == "fixed" and y.kind == "fixed":
+        out = truncate(out, label=f"{label}:trunc")
+    elif x.kind == "indicator" and y.kind == "indicator":
+        out.kind = "indicator"
+    return out
+
+
+def secure_compare_const(
+    x: SharedTensor, threshold: float, *, label: str = "cmp"
+) -> SharedTensor:
+    """Indicator tensor ``[x >= threshold]`` via secure comparison.
+
+    Protocol selected by ``config.activation_protocol``: the
+    dealer-assisted GMW protocol (default), or its cost-identical
+    emulation for very large tensors (bit-exact same outputs and
+    accounting; see :func:`repro.mpc.comparison.emulated_ge_const`).
+    """
+    ctx = x.ctx
+    if x.kind != "fixed":
+        raise ProtocolError("secure_compare_const expects a fixed-point tensor")
+    c_enc = int(ctx.encoder.encode(np.float64(threshold)))
+    bundle = ctx.gen_comparison_bundle(x.shape)
+    if bundle is not None:
+        res = secure_ge_const(x.shares[0], x.shares[1], c_enc, bundle)
+    else:
+        res = emulated_ge_const(
+            x.shares[0], x.shares[1], c_enc, ctx.seeds.generator(f"cmp-{ctx.comparisons_issued}")
+        )
+
+    # Online cost: ~70 vectorised bit-ops per element on each server CPU,
+    # plus the round traffic (one 8-byte opening + 62 bit rounds + B2A).
+    n = int(np.prod(x.shape))
+    start = _chain(ctx, _deps(*x.tasks))
+    cpu_tasks = [
+        ctx.server_cpu[i].run(
+            ctx.config.cpu_spec.elementwise_seconds(70 * n, parallel=ctx.config.cpu_parallel),
+            deps=_deps(x.tasks[i], *start),
+            label=f"{label}:gmw",
+        )
+        for i in (0, 1)
+    ]
+    half = res.online_bytes // 2
+    extra_latency = (res.rounds - 1) * ctx.config.server_link.latency_s
+    net_tasks = []
+    for src in (0, 1):
+        t = ctx.server_channel.send(
+            f"server{src}", f"server{1 - src}", half, deps=(cpu_tasks[src],), label=f"{label}:rounds"
+        )
+        t2 = ctx.online_clock.run(
+            f"link.server{src}->server{1 - src}", extra_latency, deps=(t,), label=f"{label}:latency"
+        )
+        net_tasks.append(t2)
+    tasks = tuple(
+        ctx.online_clock.join([cpu_tasks[i], net_tasks[1 - i]]) for i in (0, 1)
+    )
+    _set_chain(ctx, tasks)
+    return SharedTensor(
+        ctx=ctx, shares=(res.share0, res.share1), kind="indicator", tasks=tasks
+    )
+
+
+def activation(
+    x: SharedTensor, kind: str = "relu", *, label: str = "act"
+) -> tuple[SharedTensor, SharedTensor]:
+    """Secure activation; returns (output, derivative-mask).
+
+    * ``relu`` — ``x * [x >= 0]``; mask is the indicator (Section 4.2
+      notes ReLU is used for CNN/MLP);
+    * ``piecewise`` — the paper's Eq. 9 (a hard sigmoid): 0 below -1/2,
+      ``x + 1/2`` inside, 1 above 1/2; used where an upper-bounded
+      activation is required (logistic regression).
+    """
+    if kind == "relu":
+        mask = secure_compare_const(x, 0.0, label=f"{label}:ge0")
+        out = secure_elementwise_mul(x, mask, label=f"{label}:mul")
+        return out, mask
+    if kind == "piecewise":
+        b1 = secure_compare_const(x, -0.5, label=f"{label}:ge-half")
+        b2 = secure_compare_const(x, 0.5, label=f"{label}:ge+half")
+        inside = b1 - b2  # indicator of the linear segment
+        shifted = x.add_public(0.5)
+        linear = secure_elementwise_mul(shifted, inside, label=f"{label}:mul")
+        out = linear + b2.to_fixed()
+        return out, inside
+    raise ProtocolError(f"unknown activation kind {kind!r}")

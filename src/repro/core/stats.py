@@ -1,0 +1,103 @@
+"""Secure descriptive statistics on shared data.
+
+The paper's discussion (Section 7.7) points out the framework protects
+any matrix-based computation; these helpers cover the statistics a
+private-data pipeline needs before/around model training:
+
+* :func:`secure_mean` — column means (linear: local share sums + one
+  public scaling);
+* :func:`secure_covariance` — the covariance matrix via one secure
+  Gram product (``X^T X`` is a triplet multiplication) plus local
+  centring — the secure analogue of ``np.cov``;
+* :func:`secure_variance` — the covariance diagonal;
+* :func:`secure_standardize` — centre columns and scale by *public*
+  inverse standard deviations.  The scale factors derive from the
+  variances, which the client (data owner) may decode; the
+  standardised data itself never leaves share form.
+
+Each function documents what is decoded (client-side) and what stays
+shared, because that boundary is the security contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ops
+from repro.core.tensor import SharedTensor
+from repro.util.errors import ProtocolError, ShapeError
+
+
+def secure_mean(x: SharedTensor) -> SharedTensor:
+    """Column means (1, d) — fully local (sum + public 1/n scaling)."""
+    if x.ndim != 2:
+        raise ShapeError(f"secure_mean expects a 2-D tensor, got {x.shape}")
+    n = x.shape[0]
+    return x.sum_rows().mul_public(1.0 / n)
+
+
+def secure_covariance(x: SharedTensor, *, label: str = "cov") -> SharedTensor:
+    """Sample covariance (d, d), Bessel-corrected, fully on shares.
+
+    cov = (X^T X - n * mean^T mean) / (n - 1): one secure Gram product
+    for ``X^T X``, one for the mean outer product, local combination.
+    """
+    if x.ndim != 2:
+        raise ShapeError(f"secure_covariance expects a 2-D tensor, got {x.shape}")
+    n = x.shape[0]
+    if n < 2:
+        raise ProtocolError("covariance needs at least 2 samples")
+    gram = ops.secure_matmul(x.T, x, label=f"{label}/gram")
+    mean = secure_mean(x)
+    outer = ops.secure_matmul(mean.T, mean, label=f"{label}/outer")
+    return (gram - outer.mul_public(float(n))).mul_public(1.0 / (n - 1))
+
+
+def secure_variance(x: SharedTensor, *, label: str = "var") -> SharedTensor:
+    """Per-column sample variance (1, d) via elementwise products.
+
+    Cheaper than the full covariance when only the diagonal is needed:
+    one Hadamard triplet for ``x*x`` instead of a (d, d) Gram product.
+    """
+    if x.ndim != 2:
+        raise ShapeError(f"secure_variance expects a 2-D tensor, got {x.shape}")
+    n = x.shape[0]
+    if n < 2:
+        raise ProtocolError("variance needs at least 2 samples")
+    squares = ops.secure_elementwise_mul(x, x, label=f"{label}/sq")
+    sum_sq = squares.sum_rows()
+    mean = secure_mean(x)
+    mean_sq = ops.secure_elementwise_mul(mean, mean, label=f"{label}/meansq")
+    return (sum_sq - mean_sq.mul_public(float(n))).mul_public(1.0 / (n - 1))
+
+
+def secure_standardize(
+    x: SharedTensor, *, label: str = "std", eps: float = 1e-3
+) -> tuple[SharedTensor, np.ndarray]:
+    """Centre and unit-scale columns; returns (standardised, stds).
+
+    The per-column standard deviations are **decoded by the client** (it
+    owns the data and needs them to invert the transform later); the
+    centred data is then scaled by the public factors locally.  Returns
+    the shared standardised tensor and the public std vector.
+    """
+    n = x.shape[0]
+    mean = secure_mean(x)
+    variances = secure_variance(x, label=f"{label}/var")
+    stds = np.sqrt(np.maximum(variances.decode(), eps**2)).ravel()
+    centred = x - mean.broadcast_rows(n)
+    # per-column public scaling: one mul_public per column group; done
+    # with a single elementwise multiply by the broadcast inverse stds
+    inv = (1.0 / stds).reshape(1, -1)
+    inv_enc = x.ctx.encoder.encode(np.broadcast_to(inv, x.shape))
+    from repro.fixedpoint.ring import ring_mul
+    from repro.fixedpoint.truncation import truncate_share
+
+    shares = tuple(
+        truncate_share(ring_mul(centred.shares[i], inv_enc), x.ctx.encoder.frac_bits, i)
+        for i in (0, 1)
+    )
+    return (
+        SharedTensor(ctx=x.ctx, shares=shares, kind="fixed", tasks=centred.tasks),
+        stds,
+    )

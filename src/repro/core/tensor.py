@@ -1,0 +1,236 @@
+"""SharedTensor: a secret-shared matrix with scale tracking.
+
+A :class:`SharedTensor` bundles the two servers' additive shares of one
+logical value, plus:
+
+* ``kind`` — ``"fixed"`` for fixed-point encodings (scale
+  ``2^frac_bits``) or ``"indicator"`` for integer 0/1 values produced by
+  secure comparisons.  The distinction matters for multiplication:
+  fixed x fixed products carry double scale and must be truncated,
+  fixed x indicator products keep single scale and must *not* be;
+* ``tasks`` — the simulated-clock tasks after which each server's share
+  is available, threading the dependency graph (pipeline 2) through the
+  data itself.
+
+Linear operations (add, subtract, negate, transpose, reshape, public
+scaling) act share-wise and are implemented here; interactive operations
+live in :mod:`repro.core.ops`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.fixedpoint.ring import RING_DTYPE, ring_add, ring_mul, ring_neg, ring_sub
+from repro.fixedpoint.truncation import truncate_share
+from repro.simgpu.clock import Task
+from repro.util.errors import ProtocolError, ShapeError
+
+TensorKind = Literal["fixed", "indicator"]
+
+
+@dataclass
+class SharedTensor:
+    """One logical value, additively shared between the two servers."""
+
+    ctx: "SecureContext"  # noqa: F821 - circular typing only
+    shares: tuple[np.ndarray, np.ndarray]
+    kind: TensorKind = "fixed"
+    tasks: tuple[Optional[Task], Optional[Task]] = (None, None)
+
+    def __post_init__(self):
+        s0, s1 = self.shares
+        if s0.shape != s1.shape:
+            raise ShapeError(f"share shapes differ: {s0.shape} vs {s1.shape}")
+        if s0.dtype != RING_DTYPE or s1.dtype != RING_DTYPE:
+            raise ProtocolError("SharedTensor shares must be uint64 ring elements")
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def from_plain(
+        cls, ctx, plain: np.ndarray, *, label: str = "input", kind: TensorKind = "fixed"
+    ) -> "SharedTensor":
+        """Client-side: encode, share, upload (charged to the offline phase)."""
+        if kind == "fixed":
+            pair = ctx.share_plain(np.asarray(plain, dtype=np.float64), label=label)
+        else:
+            pair = ctx.share_ring(ctx.encoder.encode_int(np.asarray(plain)), label=label)
+        return cls(ctx=ctx, shares=(pair.share0, pair.share1), kind=kind)
+
+    # ------------------------------------------------------------- inspection
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.shares[0].shape
+
+    @property
+    def ndim(self) -> int:
+        return self.shares[0].ndim
+
+    @property
+    def nbytes(self) -> int:
+        return self.shares[0].nbytes
+
+    def share(self, party_id: int) -> np.ndarray:
+        if party_id not in (0, 1):
+            raise ProtocolError(f"party_id must be 0 or 1, got {party_id}")
+        return self.shares[party_id]
+
+    def decode(self) -> np.ndarray:
+        """Client-side reconstruction to floats (monitoring / final output)."""
+        combined = ring_add(self.shares[0], self.shares[1])
+        if self.kind == "indicator":
+            return combined.view(np.int64).astype(np.float64)
+        return self.ctx.encoder.decode(combined)
+
+    # ------------------------------------------------ local linear operations
+
+    def _binary_local(self, other: "SharedTensor", op, op_label: str) -> "SharedTensor":
+        if not isinstance(other, SharedTensor):
+            raise ProtocolError(f"{op_label} expects a SharedTensor operand")
+        if self.shape != other.shape:
+            raise ShapeError(f"{op_label} shape mismatch: {self.shape} vs {other.shape}")
+        if self.kind != other.kind:
+            raise ProtocolError(
+                f"{op_label} on mismatched kinds {self.kind} vs {other.kind}; "
+                f"lift the indicator with to_fixed() first"
+            )
+        new_shares = []
+        new_tasks = []
+        for i in (0, 1):
+            result, task = self.ctx.server_cpu[i].elementwise(
+                op,
+                [self.shares[i], other.shares[i]],
+                deps=tuple(t for t in (self.tasks[i], other.tasks[i]) if t is not None),
+                label=op_label,
+            )
+            new_shares.append(result)
+            new_tasks.append(task)
+        return SharedTensor(
+            ctx=self.ctx, shares=tuple(new_shares), kind=self.kind, tasks=tuple(new_tasks)
+        )
+
+    def __add__(self, other: "SharedTensor") -> "SharedTensor":
+        return self._binary_local(other, ring_add, "add")
+
+    def __sub__(self, other: "SharedTensor") -> "SharedTensor":
+        return self._binary_local(other, ring_sub, "sub")
+
+    def __neg__(self) -> "SharedTensor":
+        return SharedTensor(
+            ctx=self.ctx,
+            shares=(ring_neg(self.shares[0]), ring_neg(self.shares[1])),
+            kind=self.kind,
+            tasks=self.tasks,
+        )
+
+    def add_public(self, value: np.ndarray | float) -> "SharedTensor":
+        """Add a public constant: server 0 adds, server 1 passes through."""
+        encoded = (
+            self.ctx.encoder.encode(np.asarray(value, dtype=np.float64))
+            if self.kind == "fixed"
+            else self.ctx.encoder.encode_int(np.asarray(value))
+        )
+        s0 = ring_add(self.shares[0], np.broadcast_to(encoded, self.shape).astype(RING_DTYPE))
+        return SharedTensor(ctx=self.ctx, shares=(s0, self.shares[1]), kind=self.kind, tasks=self.tasks)
+
+    def mul_public_int(self, value: int) -> "SharedTensor":
+        """Multiply by a public *integer* (exact, no rescaling needed)."""
+        v = np.uint64(int(value) % 2**64)
+        return SharedTensor(
+            ctx=self.ctx,
+            shares=(ring_mul(self.shares[0], v), ring_mul(self.shares[1], v)),
+            kind=self.kind,
+            tasks=self.tasks,
+        )
+
+    def mul_public(self, value: float) -> "SharedTensor":
+        """Multiply by a public real: encode, multiply, locally truncate.
+
+        The public scalar is encoded at *double* fractional precision
+        (up to 26 bits) and truncated accordingly, so scalars like 1/n
+        that are not exactly representable at the tensor's precision do
+        not introduce a systematic relative bias (important for means,
+        variances, and learning rates).  The result is within ~1 ulp of
+        the true scaled value w.h.p. (SecureML local truncation).
+        """
+        if self.kind != "fixed":
+            raise ProtocolError("mul_public on an indicator; use mul_public_int")
+        scalar_bits = min(26, 2 * self.ctx.encoder.frac_bits)
+        encoded = int(np.rint(np.float64(value) * 2**scalar_bits)) % 2**64
+        shares = tuple(
+            truncate_share(ring_mul(self.shares[i], np.uint64(encoded)), scalar_bits, i)
+            for i in (0, 1)
+        )
+        return SharedTensor(ctx=self.ctx, shares=shares, kind="fixed", tasks=self.tasks)
+
+    def to_fixed(self) -> "SharedTensor":
+        """Lift an indicator (0/1 integer) to fixed-point scale."""
+        if self.kind == "fixed":
+            return self
+        scale = np.uint64(self.ctx.encoder.scale)
+        return SharedTensor(
+            ctx=self.ctx,
+            shares=(ring_mul(self.shares[0], scale), ring_mul(self.shares[1], scale)),
+            kind="fixed",
+            tasks=self.tasks,
+        )
+
+    # ----------------------------------------------------- shape manipulation
+
+    def transpose(self) -> "SharedTensor":
+        """Share-wise transpose (local, data movement only)."""
+        return replace(self, shares=(self.shares[0].T, self.shares[1].T))
+
+    @property
+    def T(self) -> "SharedTensor":
+        return self.transpose()
+
+    def reshape(self, *shape) -> "SharedTensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return replace(
+            self, shares=(self.shares[0].reshape(shape), self.shares[1].reshape(shape))
+        )
+
+    def row_slice(self, lo: int, hi: int) -> "SharedTensor":
+        """Rows [lo, hi) of both shares (local; server-side batch slicing).
+
+        Used by the trainer: the dataset is shared once in the offline
+        phase and the servers slice batches out of their shares locally.
+        """
+        return replace(
+            self,
+            shares=(
+                np.ascontiguousarray(self.shares[0][lo:hi]),
+                np.ascontiguousarray(self.shares[1][lo:hi]),
+            ),
+        )
+
+    def sum_rows(self) -> "SharedTensor":
+        """Column sums (1, n) — linear, used for bias gradients."""
+        from repro.fixedpoint.ring import ring_sum
+
+        return replace(
+            self,
+            shares=(
+                ring_sum(self.shares[0], axis=0).reshape(1, -1),
+                ring_sum(self.shares[1], axis=0).reshape(1, -1),
+            ),
+        )
+
+    def broadcast_rows(self, n_rows: int) -> "SharedTensor":
+        """Tile a (1, n) tensor to (n_rows, n) — for bias addition."""
+        if self.shares[0].shape[0] != 1:
+            raise ShapeError(f"broadcast_rows needs a (1, n) tensor, got {self.shape}")
+        return replace(
+            self,
+            shares=(
+                np.ascontiguousarray(np.broadcast_to(self.shares[0], (n_rows, self.shape[1]))),
+                np.ascontiguousarray(np.broadcast_to(self.shares[1], (n_rows, self.shape[1]))),
+            ),
+        )

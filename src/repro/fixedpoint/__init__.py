@@ -1,0 +1,42 @@
+"""Fixed-point arithmetic over the ring Z_{2^64}.
+
+Two-party additive secret sharing needs a finite ring; following SecureML
+(and therefore ParSecureML) we use the integers modulo 2^64, represented as
+``numpy.uint64`` arrays whose natural wrap-around *is* the ring operation.
+Real-valued data is embedded with a two's-complement fixed-point encoding
+with ``frac_bits`` fractional bits (SecureML's choice of 13 is the
+default).
+
+The one subtle piece is multiplication: the product of two encodings
+carries ``2 * frac_bits`` fractional bits and must be truncated.  SecureML
+showed that each party may truncate *its own share locally* and the
+reconstruction is still correct up to 1 ulp with overwhelming probability
+(failure probability ~ 2^{-(64 - 2*magnitude_bits)}); that protocol is
+implemented in :mod:`repro.fixedpoint.truncation`.
+"""
+
+from repro.fixedpoint.encoding import FixedPointEncoder, RING_BITS
+from repro.fixedpoint.ring import (
+    RING_DTYPE,
+    ring_add,
+    ring_sub,
+    ring_neg,
+    ring_mul,
+    ring_matmul,
+    ring_sum,
+)
+from repro.fixedpoint.truncation import truncate_share, truncate_public
+
+__all__ = [
+    "FixedPointEncoder",
+    "RING_DTYPE",
+    "RING_BITS",
+    "ring_add",
+    "ring_sub",
+    "ring_neg",
+    "ring_mul",
+    "ring_matmul",
+    "ring_sum",
+    "truncate_share",
+    "truncate_public",
+]

@@ -1,0 +1,39 @@
+"""Garbled-circuit engine (reference path for non-linear operations).
+
+SecureML — and therefore ParSecureML, which inherits its protocol stack —
+switches from arithmetic sharing to Yao garbled circuits for non-linear
+steps such as the piecewise activation's comparisons.  This package is a
+genuine, self-contained implementation:
+
+* :mod:`repro.gc.circuits` — boolean circuits (XOR/AND/NOT with free-XOR
+  friendly structure) plus builders for ripple-carry addition and
+  comparison of additively shared values;
+* :mod:`repro.gc.ot` — 1-out-of-2 oblivious transfer (Bellare-Micali
+  style over a Diffie-Hellman group on Python integers);
+* :mod:`repro.gc.garble` — point-and-permute garbling with free XOR and
+  SHA-256 as the KDF, and the matching evaluator;
+* :mod:`repro.gc.compare` — the end-to-end two-party comparison
+  ``[x >= c]`` on shared ``x``, returning an XOR-shared output bit.
+
+The dealer-assisted protocol in :mod:`repro.mpc.comparison` is the fast
+path used during training; this engine is the reference the tests check
+it against, and the honest implementation of the paper's "GC exists but
+is kept off the hot path" position.
+"""
+
+from repro.gc.circuits import Circuit, build_adder_compare_circuit, evaluate_plain
+from repro.gc.garble import Garbler, Evaluator, GarbledCircuit
+from repro.gc.ot import ObliviousTransferSender, ObliviousTransferReceiver
+from repro.gc.compare import gc_secure_ge_const
+
+__all__ = [
+    "Circuit",
+    "build_adder_compare_circuit",
+    "evaluate_plain",
+    "Garbler",
+    "Evaluator",
+    "GarbledCircuit",
+    "ObliviousTransferSender",
+    "ObliviousTransferReceiver",
+    "gc_secure_ge_const",
+]

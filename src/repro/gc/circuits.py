@@ -1,0 +1,175 @@
+"""Boolean circuits for garbling.
+
+A :class:`Circuit` is a DAG of gates over binary wires.  The gate basis
+is {XOR, AND, NOT}: XOR and NOT are *free* under the free-XOR garbling
+optimisation, so circuit builders should prefer them — the comparison
+circuit below uses the standard ripple-carry structure with one AND per
+bit position.
+
+Wire ids are dense integers; inputs are split between the two parties
+(garbler inputs first, evaluator inputs second) to match the garbling
+protocol's input-label delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.util.errors import ConfigError
+
+GateOp = Literal["XOR", "AND", "NOT"]
+
+
+@dataclass(frozen=True)
+class Gate:
+    op: GateOp
+    a: int
+    b: int  # ignored for NOT
+    out: int
+
+
+@dataclass
+class Circuit:
+    """A boolean circuit with two-party input layout."""
+
+    n_garbler_inputs: int
+    n_evaluator_inputs: int
+    gates: list[Gate] = field(default_factory=list)
+    outputs: list[int] = field(default_factory=list)
+    _next_wire: int = 0
+
+    def __post_init__(self):
+        self._next_wire = self.n_garbler_inputs + self.n_evaluator_inputs
+
+    @property
+    def n_inputs(self) -> int:
+        return self.n_garbler_inputs + self.n_evaluator_inputs
+
+    @property
+    def n_wires(self) -> int:
+        return self._next_wire
+
+    @property
+    def n_and_gates(self) -> int:
+        return sum(1 for g in self.gates if g.op == "AND")
+
+    def garbler_input(self, i: int) -> int:
+        if not 0 <= i < self.n_garbler_inputs:
+            raise ConfigError(f"garbler input {i} out of range")
+        return i
+
+    def evaluator_input(self, i: int) -> int:
+        if not 0 <= i < self.n_evaluator_inputs:
+            raise ConfigError(f"evaluator input {i} out of range")
+        return self.n_garbler_inputs + i
+
+    def _new_wire(self) -> int:
+        w = self._next_wire
+        self._next_wire += 1
+        return w
+
+    def xor(self, a: int, b: int) -> int:
+        out = self._new_wire()
+        self.gates.append(Gate("XOR", a, b, out))
+        return out
+
+    def and_(self, a: int, b: int) -> int:
+        out = self._new_wire()
+        self.gates.append(Gate("AND", a, b, out))
+        return out
+
+    def not_(self, a: int) -> int:
+        out = self._new_wire()
+        self.gates.append(Gate("NOT", a, a, out))
+        return out
+
+    def mark_output(self, wire: int) -> None:
+        self.outputs.append(wire)
+
+
+def evaluate_plain(circuit: Circuit, garbler_bits: list[int], evaluator_bits: list[int]) -> list[int]:
+    """Evaluate the circuit in the clear (spec/reference for the tests)."""
+    if len(garbler_bits) != circuit.n_garbler_inputs:
+        raise ConfigError(
+            f"expected {circuit.n_garbler_inputs} garbler bits, got {len(garbler_bits)}"
+        )
+    if len(evaluator_bits) != circuit.n_evaluator_inputs:
+        raise ConfigError(
+            f"expected {circuit.n_evaluator_inputs} evaluator bits, got {len(evaluator_bits)}"
+        )
+    wires = dict(enumerate([*garbler_bits, *evaluator_bits]))
+    for g in circuit.gates:
+        if g.op == "XOR":
+            wires[g.out] = wires[g.a] ^ wires[g.b]
+        elif g.op == "AND":
+            wires[g.out] = wires[g.a] & wires[g.b]
+        else:  # NOT
+            wires[g.out] = wires[g.a] ^ 1
+    return [wires[w] for w in circuit.outputs]
+
+
+def build_adder_compare_circuit(n_bits: int = 64, constant: int = 0) -> Circuit:
+    """Circuit computing ``[(x0 + x1 - c) >= 0]`` over two's complement.
+
+    ``x0`` (garbler) and ``x1`` (evaluator) are the additive shares, bit
+    i of each party's input is input wire i (LSB first).  The circuit
+    adds the shares with a ripple-carry adder, then adds the constant
+    ``-c mod 2^n`` (public, folded in as conditional NOTs and a second
+    adder with constant inputs optimised away), and outputs the negated
+    sign bit.
+
+    Cost: 2 AND gates per bit for the share adder (standard full adder
+    with free XOR) plus up to 1 AND per bit for the constant adder —
+    O(n) ANDs total, the textbook construction.
+    """
+    if n_bits < 2:
+        raise ConfigError(f"n_bits must be >= 2, got {n_bits}")
+    c_neg = (-int(constant)) % (1 << n_bits)
+    circ = Circuit(n_garbler_inputs=n_bits, n_evaluator_inputs=n_bits)
+
+    # --- stage 1: s = x0 + x1 (ripple carry) ---------------------------------
+    # full adder: sum = a^b^cin; cout = (a^cin)&(b^cin) ^ cin  (2 XOR-free ANDs -> 1 AND)
+    sum_wires: list[int] = []
+    carry: int | None = None
+    for i in range(n_bits):
+        a = circ.garbler_input(i)
+        b = circ.evaluator_input(i)
+        if carry is None:
+            s = circ.xor(a, b)
+            carry = circ.and_(a, b)
+        else:
+            axc = circ.xor(a, carry)
+            bxc = circ.xor(b, carry)
+            s = circ.xor(axc, b)
+            carry = circ.xor(circ.and_(axc, bxc), carry)
+        sum_wires.append(s)
+
+    # --- stage 2: t = s + c_neg (constant operand) ----------------------------
+    # Adding a public constant: where the constant bit is 0, sum passes
+    # with carry AND; where 1, sum flips with carry OR.  Using
+    #   cbit=0: t_i = s_i ^ carry;        carry' = s_i & carry
+    #   cbit=1: t_i = s_i ^ carry ^ 1;    carry' = s_i | carry = (s_i & carry) ^ s_i ^ carry
+    t_wires: list[int] = []
+    carry2: int | None = None
+    for i in range(n_bits):
+        s = sum_wires[i]
+        cbit = (c_neg >> i) & 1
+        if carry2 is None:
+            # Carry-in still known to be 0: t = s ^ cbit, carry' = s AND cbit.
+            t_wires.append(circ.not_(s) if cbit else s)
+            if cbit:
+                carry2 = s
+            continue
+        t = circ.xor(s, carry2)
+        if cbit:
+            t = circ.not_(t)
+            and_sc = circ.and_(s, carry2)
+            carry2 = circ.xor(circ.xor(and_sc, s), carry2)
+        else:
+            carry2 = circ.and_(s, carry2)
+        t_wires.append(t)
+
+    # --- output: [x >= c]  =  NOT sign(t) -------------------------------------
+    circ.mark_output(circ.not_(t_wires[n_bits - 1]))
+    return circ

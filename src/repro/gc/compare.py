@@ -1,0 +1,87 @@
+"""End-to-end GC comparison of an additively shared value.
+
+``gc_secure_ge_const`` runs the full Yao protocol between the two
+servers for a *scalar* shared value (the activation path vectorises via
+the dealer-assisted protocol; this is the reference/interop path):
+
+1. server 0 (garbler) builds the comparison circuit for the public
+   constant, garbles it, and sends the garbled tables plus the labels of
+   its own share's bits;
+2. server 1 (evaluator) runs one OT per input bit to obtain the labels
+   of *its* share's bits, evaluates, and learns the output bit;
+3. the output is re-shared: the garbler XORs a random mask bit into the
+   circuit (by flipping the output decode), so server 1 learns only
+   ``result XOR mask`` — both ends hold XOR shares, as the arithmetic
+   layer expects.
+
+Returns the XOR shares and byte/round accounting so the cost model can
+price GC fairly against the dealer-assisted path (the paper's reason to
+avoid GC on the hot path is exactly this cost).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.gc.circuits import build_adder_compare_circuit
+from repro.gc.garble import Evaluator, Garbler, LABEL_BYTES
+from repro.gc.ot import ObliviousTransferReceiver, ObliviousTransferSender
+
+
+@dataclass
+class GCCompareResult:
+    share0: int  # garbler's XOR share of [x >= c]
+    share1: int  # evaluator's XOR share
+    bytes_exchanged: int
+    n_and_gates: int
+
+
+def gc_secure_ge_const(
+    x0: int, x1: int, c_encoded: int, *, n_bits: int = 64, seed: bytes | None = None
+) -> GCCompareResult:
+    """Compare ``x = x0 + x1 (mod 2^n)`` against public ``c``.
+
+    ``x0``/``x1`` are the servers' additive shares as Python ints in
+    ``[0, 2^n)``; the result is XOR-shared between the parties.
+    """
+    mask = 2**n_bits - 1
+    x0 &= mask
+    x1 &= mask
+
+    circuit = build_adder_compare_circuit(n_bits, constant=int(c_encoded) & mask)
+    garbler = Garbler(circuit, seed=seed)
+
+    # Output masking: garbler draws a random bit and flips the decode
+    # permute bit, so the evaluator's decoded value is result XOR mask.
+    mask_bit = secrets.randbelow(2) if seed is None else seed[0] & 1
+    garbled = garbler.garbled
+    garbled.output_permute_bits = [p ^ mask_bit for p in garbled.output_permute_bits]
+
+    g_bits = [(x0 >> i) & 1 for i in range(n_bits)]
+    e_bits = [(x1 >> i) & 1 for i in range(n_bits)]
+    g_labels = garbler.garbler_input_labels(g_bits)
+
+    # OT per evaluator input bit.
+    ot_bytes = 0
+    e_labels = []
+    for (l0, l1), bit in zip(garbler.evaluator_input_label_pairs(), e_bits):
+        sender = ObliviousTransferSender(l0, l1)
+        receiver = ObliviousTransferReceiver(bit)
+        pk0 = receiver.request(sender.public_c)
+        msg = sender.respond(pk0)
+        e_labels.append(receiver.receive(msg))
+        # public C + PK0 + two ElGamal pairs (group elements ~64 bytes).
+        ot_bytes += 64 + 64 + 2 * (64 + LABEL_BYTES)
+
+    evaluator = Evaluator(garbled)
+    out_bit = evaluator.evaluate(g_labels, e_labels)[0]
+
+    table_bytes = 4 * LABEL_BYTES * circuit.n_and_gates
+    label_bytes = LABEL_BYTES * circuit.n_garbler_inputs
+    return GCCompareResult(
+        share0=mask_bit,
+        share1=out_bit,
+        bytes_exchanged=table_bytes + label_bytes + ot_bytes + 1,
+        n_and_gates=circuit.n_and_gates,
+    )

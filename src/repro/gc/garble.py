@@ -1,0 +1,175 @@
+"""Point-and-permute garbling with free XOR.
+
+Standard modern-textbook Yao:
+
+* every wire ``w`` carries two 16-byte labels ``L_w^0, L_w^1`` with
+  ``L_w^1 = L_w^0 XOR Delta`` for a global secret ``Delta`` whose last
+  bit is 1 (free-XOR); the label's last bit is the *permute bit* used to
+  index garbled tables without leaking truth values;
+* XOR gates are free: ``L_out = L_a XOR L_b`` (no table);
+* NOT gates are free: ``L_out^0 = L_a^1`` (swap, handled by XORing
+  ``Delta`` into the zero-label);
+* AND gates emit a 4-row table, row order given by the input permute
+  bits, each row ``H(L_a, L_b, gate_id) XOR L_out``;
+* outputs are decoded with per-output permute-bit maps.
+
+SHA-256 is the KDF.  Labels are ``bytes``; the engine is deliberately
+simple and correct — throughput is the dealer-assisted path's job.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass, field
+
+from repro.gc.circuits import Circuit, Gate
+from repro.util.errors import ProtocolError
+
+LABEL_BYTES = 16
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _hash_gate(a: bytes, b: bytes, gate_id: int) -> bytes:
+    return hashlib.sha256(a + b + gate_id.to_bytes(4, "little")).digest()[:LABEL_BYTES]
+
+
+def _permute_bit(label: bytes) -> int:
+    return label[-1] & 1
+
+
+@dataclass
+class GarbledCircuit:
+    """What the garbler sends to the evaluator."""
+
+    circuit: Circuit
+    tables: dict[int, list[bytes]]  # gate index -> 4 rows (AND gates only)
+    output_permute_bits: list[int]  # decode info per circuit output
+
+
+class Garbler:
+    """Garbles a circuit and hands out input labels.
+
+    The garbler's own input labels are selected directly; the
+    evaluator's are meant to be delivered via OT (see
+    :func:`repro.gc.compare.gc_secure_ge_const`), which is why both
+    labels of every evaluator input are exposed to *this* object only.
+    """
+
+    def __init__(self, circuit: Circuit, seed: bytes | None = None):
+        self.circuit = circuit
+        rand = secrets.token_bytes if seed is None else _DeterministicRand(seed).token_bytes
+        delta = bytearray(rand(LABEL_BYTES))
+        delta[-1] |= 1  # free-XOR requires lsb(Delta) = 1 (permute bits differ)
+        self._delta = bytes(delta)
+        # zero-labels for every wire; ones are zero XOR Delta.
+        self._zero: dict[int, bytes] = {}
+        for w in range(circuit.n_inputs):
+            self._zero[w] = rand(LABEL_BYTES)
+        self._garbled = self._garble(rand)
+
+    def _label(self, wire: int, value: int) -> bytes:
+        zero = self._zero[wire]
+        return zero if value == 0 else _xor(zero, self._delta)
+
+    def _garble(self, rand) -> GarbledCircuit:
+        tables: dict[int, list[bytes]] = {}
+        for gi, gate in enumerate(self.circuit.gates):
+            if gate.op == "XOR":
+                self._zero[gate.out] = _xor(self._zero[gate.a], self._zero[gate.b])
+            elif gate.op == "NOT":
+                self._zero[gate.out] = _xor(self._zero[gate.a], self._delta)
+            elif gate.op == "AND":
+                out_zero = rand(LABEL_BYTES)
+                self._zero[gate.out] = out_zero
+                rows: list[bytes | None] = [None] * 4
+                for va in (0, 1):
+                    for vb in (0, 1):
+                        la = self._label(gate.a, va)
+                        lb = self._label(gate.b, vb)
+                        out_label = self._label(gate.out, va & vb)
+                        row_index = (_permute_bit(la) << 1) | _permute_bit(lb)
+                        rows[row_index] = _xor(_hash_gate(la, lb, gi), out_label)
+                tables[gi] = rows  # type: ignore[assignment]
+            else:  # pragma: no cover - exhaustive over GateOp
+                raise ProtocolError(f"unknown gate op {gate.op}")
+        output_permute_bits = [_permute_bit(self._zero[w]) for w in self.circuit.outputs]
+        return GarbledCircuit(
+            circuit=self.circuit, tables=tables, output_permute_bits=output_permute_bits
+        )
+
+    @property
+    def garbled(self) -> GarbledCircuit:
+        return self._garbled
+
+    def garbler_input_labels(self, bits: list[int]) -> list[bytes]:
+        """Labels for the garbler's own input bits (sent in the clear —
+        labels reveal nothing)."""
+        if len(bits) != self.circuit.n_garbler_inputs:
+            raise ProtocolError(
+                f"expected {self.circuit.n_garbler_inputs} garbler bits, got {len(bits)}"
+            )
+        return [self._label(self.circuit.garbler_input(i), b) for i, b in enumerate(bits)]
+
+    def evaluator_input_label_pairs(self) -> list[tuple[bytes, bytes]]:
+        """(zero-label, one-label) per evaluator input — feed these to OT."""
+        return [
+            (
+                self._label(self.circuit.evaluator_input(i), 0),
+                self._label(self.circuit.evaluator_input(i), 1),
+            )
+            for i in range(self.circuit.n_evaluator_inputs)
+        ]
+
+
+class Evaluator:
+    """Evaluates a garbled circuit given one label per input wire."""
+
+    def __init__(self, garbled: GarbledCircuit):
+        self.garbled = garbled
+
+    def evaluate(self, garbler_labels: list[bytes], evaluator_labels: list[bytes]) -> list[int]:
+        circ = self.garbled.circuit
+        if len(garbler_labels) != circ.n_garbler_inputs:
+            raise ProtocolError("wrong number of garbler labels")
+        if len(evaluator_labels) != circ.n_evaluator_inputs:
+            raise ProtocolError("wrong number of evaluator labels")
+        wires: dict[int, bytes] = {}
+        for i, lab in enumerate(garbler_labels):
+            wires[circ.garbler_input(i)] = lab
+        for i, lab in enumerate(evaluator_labels):
+            wires[circ.evaluator_input(i)] = lab
+        for gi, gate in enumerate(circ.gates):
+            if gate.op == "XOR":
+                wires[gate.out] = _xor(wires[gate.a], wires[gate.b])
+            elif gate.op == "NOT":
+                wires[gate.out] = wires[gate.a]  # label unchanged; decode flips
+            elif gate.op == "AND":
+                la, lb = wires[gate.a], wires[gate.b]
+                row = self.garbled.tables[gi][(_permute_bit(la) << 1) | _permute_bit(lb)]
+                wires[gate.out] = _xor(_hash_gate(la, lb, gi), row)
+        # Decode: the evaluator sees the permute bit of the obtained
+        # label; XOR with the garbler-provided zero-permute-bit gives the
+        # truth value.
+        return [
+            _permute_bit(wires[w]) ^ p
+            for w, p in zip(circ.outputs, self.garbled.output_permute_bits)
+        ]
+
+
+class _DeterministicRand:
+    """SHA-256 counter DRBG for reproducible garbling in tests."""
+
+    def __init__(self, seed: bytes):
+        self._seed = seed
+        self._counter = 0
+
+    def token_bytes(self, n: int) -> bytes:
+        out = b""
+        while len(out) < n:
+            out += hashlib.sha256(self._seed + self._counter.to_bytes(8, "little")).digest()
+            self._counter += 1
+        return out[:n]

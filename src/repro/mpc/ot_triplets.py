@@ -1,0 +1,150 @@
+"""OT-based Beaver triplet generation (SecureML's dealer-free offline).
+
+ParSecureML's offline phase uses the client as a trusted dealer
+(:class:`~repro.mpc.triplets.TripletDealer`), which is what its
+evaluation measures.  The original SecureML paper also specifies a
+*dealer-free* offline where the two servers generate triplets between
+themselves using oblivious transfer — included here both for
+completeness of the SecureML substrate and to power the offline-strategy
+comparison benchmark.
+
+Protocol (Gilboa-style OT multiplication over Z_{2^64})
+--------------------------------------------------------
+To produce additive shares of ``a * b`` where server 0 holds ``a`` and
+server 1 holds ``b``: for each bit ``i`` of ``b``, the parties run one
+1-out-of-2 OT in which server 0 (sender) offers the pair
+
+    m_0 = r_i,      m_1 = r_i + a * 2^i   (mod 2^64)
+
+for a fresh random ``r_i``, and server 1 (receiver) selects with choice
+bit ``b_i``.  Summing, server 1 obtains ``sum_i (r_i + b_i a 2^i)
+= R + a*b`` and server 0 holds ``-R``: additive shares of the product.
+A full Beaver triplet ``(u, v, w = u*v)`` with *both* factors shared
+needs the cross terms ``u0*v1`` and ``u1*v0``, i.e. two OT
+multiplications per element, plus the locally computable ``u0*v0`` and
+``u1*v1``.
+
+Cost: 64 OTs of 8-byte strings per cross term — the reason SecureML's
+OT offline is orders of magnitude more expensive than ParSecureML's
+client-aided offline, which the comparison benchmark quantifies using
+:func:`ot_triplet_offline_cost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fixedpoint.ring import RING_DTYPE, ring_add, ring_mul, ring_neg, ring_sub
+from repro.gc.ot import ObliviousTransferReceiver, ObliviousTransferSender
+from repro.mpc.triplets import ElementwiseTriplet
+from repro.mpc.shares import SharePair
+from repro.util.errors import ProtocolError
+
+_BITS = 64
+# wire sizes of one Bellare-Micali OT instance (group elements ~64 B)
+_OT_BYTES = 64 + 64 + 2 * (64 + 8)
+
+
+def _ot_multiply(a: int, b: int, rng: np.random.Generator) -> tuple[int, int]:
+    """Shares of ``a*b mod 2^64``: server 0 inputs a, server 1 inputs b.
+
+    Runs the 64 real OT instances in-process.  Returns (share0, share1).
+    """
+    a %= 2**64
+    b %= 2**64
+    share0 = 0
+    share1 = 0
+    for i in range(_BITS):
+        r = int(rng.integers(0, 2**64, dtype=np.uint64))
+        m0 = r
+        m1 = (r + (a << i)) % 2**64
+        sender = ObliviousTransferSender(
+            m0.to_bytes(8, "little"), m1.to_bytes(8, "little")
+        )
+        receiver = ObliviousTransferReceiver((b >> i) & 1)
+        pk0 = receiver.request(sender.public_c)
+        got = int.from_bytes(receiver.receive(sender.respond(pk0)), "little")
+        share0 = (share0 - r) % 2**64
+        share1 = (share1 + got) % 2**64
+    return share0, share1
+
+
+@dataclass
+class OTTripletStats:
+    """Traffic/round accounting of one OT triplet generation."""
+
+    elements: int
+    ot_instances: int
+    bytes_exchanged: int
+
+
+class OTTripletGenerator:
+    """Dealer-free elementwise Beaver triplets between the two servers.
+
+    This runs real cryptography (64 modular-exponentiation OTs per cross
+    term), so it is meant for small shapes — correctness tests and the
+    offline-strategy comparison — not for bulk training, which is
+    precisely SecureML's practical problem that the client-aided dealer
+    (and ParSecureML's GPU offline) solve.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+        self.stats = OTTripletStats(elements=0, ot_instances=0, bytes_exchanged=0)
+
+    def elementwise_triplet(self, shape: tuple[int, ...]) -> ElementwiseTriplet:
+        rng = self._rng
+        u0 = rng.integers(0, 2**64, size=shape, dtype=np.uint64)
+        u1 = rng.integers(0, 2**64, size=shape, dtype=np.uint64)
+        v0 = rng.integers(0, 2**64, size=shape, dtype=np.uint64)
+        v1 = rng.integers(0, 2**64, size=shape, dtype=np.uint64)
+
+        # w = (u0 + u1)(v0 + v1) = u0 v0 + u0 v1 + u1 v0 + u1 v1.
+        # Local terms stay with their owner; cross terms via OT.
+        w0 = ring_mul(u0, v0)
+        w1 = ring_mul(u1, v1)
+        flat_shape = int(np.prod(shape))
+        cross0 = np.zeros(flat_shape, dtype=RING_DTYPE)
+        cross1 = np.zeros(flat_shape, dtype=RING_DTYPE)
+        u0f, v1f = u0.reshape(-1), v1.reshape(-1)
+        u1f, v0f = u1.reshape(-1), v0.reshape(-1)
+        for idx in range(flat_shape):
+            s0, s1 = _ot_multiply(int(u0f[idx]), int(v1f[idx]), rng)
+            cross0[idx] = ring_add(cross0[idx], np.uint64(s0))
+            cross1[idx] = ring_add(cross1[idx], np.uint64(s1))
+            # u1 * v0: server 1 is the sender this time (roles swap).
+            s1b, s0b = _ot_multiply(int(u1f[idx]), int(v0f[idx]), rng)
+            cross0[idx] = ring_add(cross0[idx], np.uint64(s0b))
+            cross1[idx] = ring_add(cross1[idx], np.uint64(s1b))
+        w0 = ring_add(w0, cross0.reshape(shape))
+        w1 = ring_add(w1, cross1.reshape(shape))
+
+        self.stats.elements += flat_shape
+        self.stats.ot_instances += 2 * _BITS * flat_shape
+        self.stats.bytes_exchanged += 2 * _BITS * flat_shape * _OT_BYTES
+        return ElementwiseTriplet(
+            u=SharePair(u0, u1), v=SharePair(v0, v1), z=SharePair(w0, w1), shape=tuple(shape)
+        )
+
+
+def ot_triplet_offline_cost(
+    n_elements: int,
+    *,
+    exp_seconds: float = 150e-6,
+    link_bandwidth_gbps: float = 12.0,
+    link_latency_s: float = 1.5e-6,
+) -> tuple[float, int]:
+    """(seconds, bytes) to generate ``n`` elementwise triplets via OT.
+
+    ``exp_seconds`` is the cost of one modular exponentiation (~512-bit
+    group, CPU); each OT instance needs ~4 of them across both parties.
+    Used by the offline-strategy benchmark to compare against the
+    client-aided dealer without actually running millions of OTs.
+    """
+    ots = 2 * _BITS * n_elements
+    compute_s = ots * 4 * exp_seconds
+    wire_bytes = ots * _OT_BYTES
+    network_s = wire_bytes / (link_bandwidth_gbps * 1e9) + ots * link_latency_s
+    return compute_s + network_s, wire_bytes

@@ -1,0 +1,27 @@
+"""Intra-node orchestration: adaptive placement and the double pipeline.
+
+* :mod:`repro.pipeline.profiler` — profiling-guided adaptive GPU
+  utilisation (paper Section 4.2): estimates each step on both devices
+  and places it where it finishes sooner, memoising decisions per
+  (step kind, shape);
+* :mod:`repro.pipeline.scheduler` — the double pipeline (Section 4.3):
+  pipeline 1 overlaps PCIe transfers with the sub-kernels of the Eq. 8
+  GEMM (Fig. 5); pipeline 2's cross-layer overlap is expressed through
+  the dependency edges the training loop passes in (Fig. 6);
+* :mod:`repro.pipeline.timeline` — trace analysis: busy/overlap
+  accounting and an ASCII Gantt renderer used by examples and tests.
+"""
+
+from repro.pipeline.profiler import StepProfiler, PlacementDecision
+from repro.pipeline.scheduler import schedule_secure_gemm, GemmScheduleResult
+from repro.pipeline.timeline import TimelineSummary, summarize, render_gantt
+
+__all__ = [
+    "StepProfiler",
+    "PlacementDecision",
+    "schedule_secure_gemm",
+    "GemmScheduleResult",
+    "TimelineSummary",
+    "summarize",
+    "render_gantt",
+]

@@ -1,0 +1,216 @@
+"""Client and server actors over the transport interface.
+
+The actors implement the paper's workflow (Fig. 3) as explicit message
+passing:
+
+* :class:`ClientActor` — owns the data and the dealer role: encodes,
+  shares, generates triplets, distributes material, reconstructs
+  results;
+* :class:`ServerActor` — holds nothing but what it receives: runs the
+  reconstruct round with its peer and the Eq. 8 product, truncates its
+  share locally, returns it.
+
+Driver helpers (:func:`run_matmul`, :func:`run_dense_forward`) sequence
+the actors for the common flows.  Over the loopback transport the calls
+run in one process; the same call order works rank-parallel over MPI
+because every ``recv`` has a matching earlier ``send``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.encoding import FixedPointEncoder
+from repro.fixedpoint.ring import ring_add, ring_matmul, ring_sub
+from repro.fixedpoint.truncation import truncate_share
+from repro.mpc.shares import reconstruct, share_secret
+from repro.mpc.triplets import TripletDealer
+from repro.runtime.messages import (
+    MaskedPair,
+    MatmulMaterial,
+    ResultShare,
+    TAG_MASKED,
+    TAG_MATERIAL,
+    TAG_RESULT,
+    tag_for,
+)
+from repro.util.errors import ProtocolError
+
+
+class ClientActor:
+    """The data owner / trusted dealer."""
+
+    def __init__(self, view, *, frac_bits: int = 13, seed: int = 0):
+        self.view = view
+        self.encoder = FixedPointEncoder(frac_bits)
+        self._rng = np.random.default_rng(seed)
+        self._dealer = TripletDealer(np.random.default_rng(seed + 1))
+
+    # -- offline ---------------------------------------------------------------
+
+    def dispatch_matmul(self, label: str, a: np.ndarray, b: np.ndarray) -> None:
+        """Share operands + triplet and send each server its material."""
+        a_enc = self.encoder.encode(np.asarray(a, dtype=np.float64))
+        b_enc = self.encoder.encode(np.asarray(b, dtype=np.float64))
+        self.dispatch_matmul_encoded(label, a_enc, b_enc)
+
+    def dispatch_matmul_encoded(self, label: str, a_enc: np.ndarray, b_enc: np.ndarray) -> None:
+        a_pair = share_secret(a_enc, self._rng)
+        b_pair = share_secret(b_enc, self._rng)
+        triplet = self._dealer.matrix_triplet(a_enc.shape, b_enc.shape)
+        for i in (0, 1):
+            material = MatmulMaterial(
+                label=label,
+                party_id=i,
+                a_share=a_pair[i],
+                b_share=b_pair[i],
+                u=triplet.u[i],
+                v=triplet.v[i],
+                z=triplet.z[i],
+            )
+            self.view.send(f"server{i}", tag_for(TAG_MATERIAL, label), material)
+
+    # -- online result ----------------------------------------------------------
+
+    def collect(self, label: str) -> np.ndarray:
+        """Receive both servers' shares and decode the result."""
+        shares = {}
+        for i in (0, 1):
+            msg: ResultShare = self.view.recv(f"server{i}", tag_for(TAG_RESULT, label))
+            if msg.label != label or msg.party_id != i:
+                raise ProtocolError(
+                    f"client: result stream mismatch (got {msg.label}/{msg.party_id}, "
+                    f"expected {label}/{i})"
+                )
+            shares[i] = msg.c_share
+        return self.encoder.decode(reconstruct(shares[0], shares[1]))
+
+
+class ServerActor:
+    """One of the two computation servers."""
+
+    def __init__(self, party_id: int, view, *, frac_bits: int = 13):
+        if party_id not in (0, 1):
+            raise ProtocolError(f"party_id must be 0 or 1, got {party_id}")
+        self.party_id = party_id
+        self.view = view
+        self.frac_bits = frac_bits
+        self._pending: dict[str, MatmulMaterial] = {}
+
+    @property
+    def peer(self) -> str:
+        return f"server{1 - self.party_id}"
+
+    # -- protocol steps, split so drivers can interleave the two servers --------
+
+    def receive_material(self, label: str) -> None:
+        material: MatmulMaterial = self.view.recv("client", tag_for(TAG_MATERIAL, label))
+        if material.label != label or material.party_id != self.party_id:
+            raise ProtocolError(
+                f"server{self.party_id}: material stream mismatch on {label!r}"
+            )
+        self._pending[label] = material
+
+    def send_masked(self, label: str) -> None:
+        """Eq. 4: compute E_i, F_i and send them to the peer."""
+        m = self._require(label)
+        e_i = ring_sub(m.a_share, m.u)
+        f_i = ring_sub(m.b_share, m.v)
+        self._pending_masked = (label, e_i, f_i)
+        self.view.send(self.peer, tag_for(TAG_MASKED, label), MaskedPair(label, e_i, f_i))
+
+    def finish_matmul(self, label: str, *, keep_share: bool = False) -> np.ndarray | None:
+        """Eq. 5 + Eq. 8 + local truncation; ship C_i to the client."""
+        m = self._require(label)
+        own_label, e_i, f_i = self._pending_masked
+        if own_label != label:
+            raise ProtocolError(
+                f"server{self.party_id}: masked state is for {own_label!r}, not {label!r}"
+            )
+        remote: MaskedPair = self.view.recv(self.peer, tag_for(TAG_MASKED, label))
+        e = ring_add(e_i, remote.e)
+        f = ring_add(f_i, remote.f)
+        lead = m.a_share if self.party_id == 0 else ring_sub(m.a_share, e)
+        left = np.concatenate([lead, e], axis=1)
+        right = np.concatenate([f, m.b_share], axis=0)
+        c_i = ring_add(ring_matmul(left, right), m.z)
+        c_i = truncate_share(c_i, self.frac_bits, self.party_id)
+        del self._pending[label]
+        if keep_share:
+            return c_i
+        self.view.send(
+            "client", tag_for(TAG_RESULT, label), ResultShare(label, self.party_id, c_i)
+        )
+        return None
+
+    def _require(self, label: str) -> MatmulMaterial:
+        if label not in self._pending:
+            raise ProtocolError(
+                f"server{self.party_id}: no material for {label!r}; "
+                f"receive_material() first"
+            )
+        return self._pending[label]
+
+
+# -- drivers -------------------------------------------------------------------
+
+
+def run_matmul(
+    client: ClientActor,
+    servers: tuple[ServerActor, ServerActor],
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    label: str = "matmul",
+) -> np.ndarray:
+    """One complete secure matrix product through the actors."""
+    client.dispatch_matmul(label, a, b)
+    for s in servers:
+        s.receive_material(label)
+    for s in servers:
+        s.send_masked(label)
+    for s in servers:
+        s.finish_matmul(label)
+    return client.collect(label)
+
+
+def run_dense_forward(
+    client: ClientActor,
+    servers: tuple[ServerActor, ServerActor],
+    x: np.ndarray,
+    weights: list[np.ndarray],
+    *,
+    label: str = "forward",
+) -> np.ndarray:
+    """Multi-layer linear forward pass ``x @ W1 @ W2 ...`` on the actors.
+
+    Reference flow: each layer's output shares return to the *client*
+    (the data owner, trusted in this model), which re-shares them with
+    fresh triplet material for the next layer — the simple
+    client-mediated pipeline of the paper's Fig. 3.  Linear layers only;
+    the interactive comparisons of non-linear layers live in the
+    lockstep framework, which is also the path that keeps intermediates
+    server-resident.
+    """
+    current = np.asarray(x, dtype=np.float64)
+    # The client knows shapes, not values, of intermediates; for the
+    # actor demo we re-share layer by layer, which matches the paper's
+    # client-mediated offline stream per layer.
+    enc = client.encoder
+    current_enc = enc.encode(current)
+    for li, w in enumerate(weights):
+        layer_label = f"{label}/{li}"
+        w_enc = enc.encode(np.asarray(w, dtype=np.float64))
+        client.dispatch_matmul_encoded(layer_label, current_enc, w_enc)
+        for s in servers:
+            s.receive_material(layer_label)
+        for s in servers:
+            s.send_masked(layer_label)
+        for s in servers:
+            s.finish_matmul(layer_label)
+        result_shares = []
+        for i in (0, 1):
+            msg = client.view.recv(f"server{i}", tag_for(TAG_RESULT, layer_label))
+            result_shares.append(msg.c_share)
+        current_enc = reconstruct(result_shares[0], result_shares[1])
+    return enc.decode(current_enc)

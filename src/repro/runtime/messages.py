@@ -1,0 +1,57 @@
+"""Protocol message types and tag conventions.
+
+Every message the actors exchange is a small dataclass with explicit
+fields; tags namespace logical streams so concurrent operations never
+cross wires.  Keeping the vocabulary closed (three message kinds) makes
+the actor state machines auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+TAG_MATERIAL = "material"  # client -> server: shares + triplet material
+TAG_MASKED = "masked"  # server <-> server: E_i / F_i openings
+TAG_RESULT = "result"  # server -> client: output shares
+
+
+def tag_for(kind: str, label: str) -> str:
+    """Tag string for one logical stream of one operation."""
+    return f"{kind}:{label}"
+
+
+@dataclass
+class MatmulMaterial:
+    """Everything one server needs for one secure matmul execution.
+
+    ``a_share``/``b_share`` are the operand shares; ``u``, ``v``, ``z``
+    the server's Beaver triplet shares (single-use for this execution).
+    """
+
+    label: str
+    party_id: int
+    a_share: np.ndarray
+    b_share: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+    z: np.ndarray
+
+
+@dataclass
+class MaskedPair:
+    """One server's E_i and F_i, sent to its peer (Eq. 5 round)."""
+
+    label: str
+    e: np.ndarray
+    f: np.ndarray
+
+
+@dataclass
+class ResultShare:
+    """One server's (truncated) output share, returned to the client."""
+
+    label: str
+    party_id: int
+    c_share: np.ndarray

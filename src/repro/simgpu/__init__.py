@@ -1,0 +1,41 @@
+"""Discrete-event simulated GPU substrate.
+
+The paper's platform (NVIDIA V100 + PCIe + dual Xeon) is replaced by a
+simulator with two coupled halves:
+
+* **numerics** — every kernel really computes its result with NumPy, so
+  the secure protocols running on top are bit-exact; and
+* **timing** — every kernel, PCIe transfer, and network message charges
+  simulated seconds to a resource timeline (:class:`SimClock`), using an
+  analytical cost model calibrated to the paper's hardware
+  (:mod:`repro.simgpu.cost`).
+
+Because each resource (CPU, GPU stream, H2D/D2H DMA engines, NIC) is its
+own timeline and tasks carry dependencies, *overlap* falls out naturally:
+the double-pipeline of paper Section 4.3 is expressed as a dependency
+graph and its benefit is measured, not asserted.
+"""
+
+from repro.simgpu.clock import SimClock, Task
+from repro.simgpu.cost import (
+    DeviceSpec,
+    CPUSpec,
+    V100_SPEC,
+    XEON_E5_2670V3_SPEC,
+    P100_SPEC,
+)
+from repro.simgpu.memory import DeviceBuffer
+from repro.simgpu.device import SimGPU, SimCPU
+
+__all__ = [
+    "SimClock",
+    "Task",
+    "DeviceSpec",
+    "CPUSpec",
+    "V100_SPEC",
+    "XEON_E5_2670V3_SPEC",
+    "P100_SPEC",
+    "DeviceBuffer",
+    "SimGPU",
+    "SimCPU",
+]

@@ -1,0 +1,65 @@
+"""Tensor-Core emulation utilities (paper Section 5.2, Figs. 9 & 15).
+
+Volta Tensor Cores compute ``D = A x B + C`` with FP16 inputs and FP32
+accumulation.  The throughput side is modelled in
+:class:`repro.simgpu.cost.DeviceSpec` (``tensor_tflops``); this module
+provides the *numeric* side — genuine FP16 input rounding with FP32
+accumulation — so the paper's "without sacrificing accuracy" claim is a
+measurable property rather than an assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["tensor_core_gemm", "quantize_fp16", "TensorCoreAccuracy", "accuracy_report"]
+
+
+def quantize_fp16(x: np.ndarray) -> np.ndarray:
+    """Round to FP16 and back — the precision loss at the Tensor-Core inlet.
+
+    Values beyond fp16's +/-65504 saturate to infinity, exactly as the
+    hardware inlet would; the overflow warning is the modelled effect,
+    not an error.
+    """
+    with np.errstate(over="ignore"):
+        return x.astype(np.float16).astype(np.float32)
+
+
+def tensor_core_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Emulated ``cublasSgemmEx``: FP16 operands, FP32 accumulation.
+
+    NumPy accumulates float32 matmul in float32 (pairwise), matching the
+    Tensor Core's FP32 accumulator closely enough for accuracy studies.
+    """
+    return quantize_fp16(a) @ quantize_fp16(b)
+
+
+@dataclass(frozen=True)
+class TensorCoreAccuracy:
+    """Accuracy comparison of Tensor-Core vs FP32 GEMM on given operands."""
+
+    max_abs_error: float
+    max_rel_error: float
+    mean_rel_error: float
+
+    @property
+    def acceptable_for_training(self) -> bool:
+        """The paper's working assumption: sub-percent mean error."""
+        return self.mean_rel_error < 1e-2
+
+
+def accuracy_report(a: np.ndarray, b: np.ndarray) -> TensorCoreAccuracy:
+    """Measure the FP16-input error against an FP64 reference product."""
+    ref = a.astype(np.float64) @ b.astype(np.float64)
+    tc = tensor_core_gemm(np.asarray(a, dtype=np.float32), np.asarray(b, dtype=np.float32))
+    abs_err = np.abs(tc - ref)
+    denom = np.maximum(np.abs(ref), 1e-12)
+    rel = abs_err / denom
+    return TensorCoreAccuracy(
+        max_abs_error=float(abs_err.max()),
+        max_rel_error=float(rel.max()),
+        mean_rel_error=float(rel.mean()),
+    )

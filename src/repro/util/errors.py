@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro framework.
+
+All framework-raised exceptions derive from :class:`ReproError` so callers
+can catch everything the library raises with a single except clause while
+still being able to discriminate failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro framework."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array had an incompatible shape or dimensionality."""
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """A two-party-computation protocol invariant was violated.
+
+    Raised when messages arrive out of order, a triplet is reused, shares
+    from mismatched sharings are combined, or a party attempts a step whose
+    prerequisites have not run.
+    """
+
+
+class DeviceError(ReproError, RuntimeError):
+    """A simulated-GPU operation was invalid.
+
+    Examples: operating on a freed buffer, launching a kernel on buffers
+    that live on a different device, exceeding device memory.
+    """
+
+
+class TransportError(ReproError, RuntimeError):
+    """Inter-party message delivery failed or was misused."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value was out of range or inconsistent."""

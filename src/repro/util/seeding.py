@@ -1,0 +1,62 @@
+"""Deterministic seed derivation.
+
+Every stochastic component in the framework (share splitting, triplet
+generation, synthetic datasets, model initialisation) draws its entropy
+from a :class:`numpy.random.Generator` seeded through this module, so the
+whole system — including the two-party protocol transcripts — replays
+bit-for-bit from a single root seed.
+
+Seeds are derived by hashing ``(root_seed, label)`` with BLAKE2b rather
+than by incrementing a counter, so adding a new consumer never perturbs
+the streams of existing ones (the classic "seed drift" problem in large
+simulations).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["derive_seed", "SeedSequenceFactory"]
+
+
+def derive_seed(root_seed: int, label: str) -> int:
+    """Derive a 64-bit child seed from ``root_seed`` and a textual label.
+
+    The derivation is stable across processes and Python versions (BLAKE2b
+    of the decimal seed plus the UTF-8 label).
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(str(int(root_seed)).encode("ascii"))
+    h.update(b"\x00")
+    h.update(label.encode("utf-8"))
+    return int.from_bytes(h.digest(), "little")
+
+
+class SeedSequenceFactory:
+    """Hands out independent :class:`numpy.random.Generator` instances.
+
+    Each consumer asks by label; repeated requests for the same label give
+    generators with identical streams, which makes protocol replay in tests
+    straightforward.
+    """
+
+    def __init__(self, root_seed: int = 0):
+        self.root_seed = int(root_seed)
+
+    def seed_for(self, label: str) -> int:
+        """Return the derived integer seed for ``label``."""
+        return derive_seed(self.root_seed, label)
+
+    def generator(self, label: str) -> np.random.Generator:
+        """Return a fresh PCG64 generator dedicated to ``label``."""
+        return np.random.Generator(np.random.PCG64(self.seed_for(label)))
+
+    def spawn(self, label: str) -> "SeedSequenceFactory":
+        """Create a child factory whose root is derived from ``label``.
+
+        Lets a subsystem (e.g. one server) own its own namespace of labels
+        without colliding with its sibling's.
+        """
+        return SeedSequenceFactory(self.seed_for(label))

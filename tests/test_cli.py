@@ -1,0 +1,39 @@
+"""The python -m repro.bench command-line interface."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCLI:
+    def test_single_cell_both_systems(self, capsys):
+        rc = main(["linear", "MNIST", "--batches", "1", "--batch-size", "16",
+                   "--no-extrapolate"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SecureML" in out and "ParSecureML" in out
+        assert "SecureML / ParSecureML" in out
+
+    def test_single_system(self, capsys):
+        rc = main(["linear", "MNIST", "--system", "par", "--batches", "1",
+                   "--batch-size", "16", "--no-extrapolate"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ParSecureML" in out
+        assert "SecureML /" not in out
+
+    def test_inference_mode(self, capsys):
+        rc = main(["linear", "MNIST", "--inference", "--batches", "1",
+                   "--batch-size", "16", "--no-extrapolate", "--system", "par"])
+        assert rc == 0
+
+    def test_plain_baselines(self, capsys):
+        rc = main(["linear", "MNIST", "--system", "par", "--plain", "--batches", "1",
+                   "--batch-size", "16", "--no-extrapolate"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "plain-cpu" in out and "plain-gpu" in out
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            main(["transformer", "MNIST"])

@@ -1,0 +1,108 @@
+"""The resource-timeline simulated clock."""
+
+import pytest
+
+from repro.simgpu.clock import SimClock
+from repro.util.errors import ConfigError
+
+
+@pytest.fixture
+def clock():
+    c = SimClock()
+    c.add_resource("a")
+    c.add_resource("b")
+    return c
+
+
+class TestScheduling:
+    def test_serial_on_one_resource(self, clock):
+        t1 = clock.run("a", 1.0)
+        t2 = clock.run("a", 2.0)
+        assert (t1.start, t1.finish) == (0.0, 1.0)
+        assert (t2.start, t2.finish) == (1.0, 3.0)
+
+    def test_parallel_across_resources(self, clock):
+        clock.run("a", 5.0)
+        t = clock.run("b", 1.0)
+        assert t.start == 0.0  # b is independent of a
+
+    def test_dependency_delays_start(self, clock):
+        ta = clock.run("a", 3.0)
+        tb = clock.run("b", 1.0, deps=(ta,))
+        assert tb.start == 3.0
+        assert tb.finish == 4.0
+
+    def test_dependency_and_resource_both_bind(self, clock):
+        ta = clock.run("a", 2.0)
+        clock.run("b", 5.0)
+        tb = clock.run("b", 1.0, deps=(ta,))
+        assert tb.start == 5.0  # resource busier than the dependency
+
+    def test_none_deps_ignored(self, clock):
+        t = clock.run("a", 1.0, deps=(None,))
+        assert t.start == 0.0
+
+    def test_zero_duration_join_point(self, clock):
+        ta = clock.run("a", 2.0)
+        tb = clock.run("b", 3.0)
+        j = clock.join([ta, tb])
+        assert j.finish == 3.0
+
+    def test_join_on_resource_occupies_it(self, clock):
+        ta = clock.run("a", 2.0)
+        j = clock.join([ta], resource="b")
+        assert j.resource == "b"
+        assert clock.free_at("b") == 2.0
+
+    def test_negative_duration_rejected(self, clock):
+        with pytest.raises(ConfigError):
+            clock.run("a", -1.0)
+
+    def test_unknown_resource_rejected(self, clock):
+        with pytest.raises(ConfigError):
+            clock.run("nope", 1.0)
+        with pytest.raises(ConfigError):
+            clock.free_at("nope")
+
+
+class TestTimeQueries:
+    def test_now_is_makespan(self, clock):
+        clock.run("a", 1.0)
+        clock.run("b", 7.0)
+        assert clock.now() == 7.0
+
+    def test_advance_all_synchronises(self, clock):
+        clock.run("a", 1.0)
+        clock.run("b", 7.0)
+        clock.advance_all()
+        assert clock.free_at("a") == 7.0
+
+    def test_advance_all_explicit_time(self, clock):
+        clock.advance_all(10.0)
+        assert clock.now() == 10.0
+
+    def test_empty_clock(self):
+        assert SimClock().now() == 0.0
+
+
+class TestTrace:
+    def test_trace_records_tasks(self, clock):
+        clock.run("a", 1.0, label="x")
+        clock.run("b", 2.0, label="y")
+        assert [t.label for t in clock.trace] == ["x", "y"]
+
+    def test_trace_for_filters(self, clock):
+        clock.run("a", 1.0)
+        clock.run("b", 2.0)
+        assert len(clock.trace_for("a")) == 1
+
+    def test_tracing_can_be_disabled(self, clock):
+        clock.set_tracing(False)
+        clock.run("a", 1.0)
+        assert clock.trace == []
+        # timing still accumulates
+        assert clock.now() == 1.0
+
+    def test_task_duration(self, clock):
+        t = clock.run("a", 2.5)
+        assert t.duration == 2.5

@@ -1,0 +1,219 @@
+"""Channels, CSR codec, compressed transmission, transport."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.channel import Channel, ETHERNET_10G, INFINIBAND_100G, LinkSpec
+from repro.comm.compression import CompressedPayload, DeltaCompressor
+from repro.comm.csr import csr_decode, csr_encode, csr_nbytes, dense_nbytes, density
+from repro.comm.transport import TransportHub
+from repro.simgpu.clock import SimClock
+from repro.util.errors import ProtocolError, TransportError
+
+
+class TestChannel:
+    def make(self, spec=INFINIBAND_100G):
+        clock = SimClock()
+        return clock, Channel(clock, spec, "s0", "s1")
+
+    def test_transfer_time(self):
+        clock, ch = self.make()
+        t = ch.send("s0", "s1", 12_000_000_000)  # 12 GB at 12 GB/s
+        assert t.duration == pytest.approx(1.0 + INFINIBAND_100G.latency_s)
+
+    def test_byte_and_message_counters(self):
+        _, ch = self.make()
+        ch.send("s0", "s1", 100)
+        ch.send("s1", "s0", 50)
+        assert ch.bytes_sent[("s0", "s1")] == 100
+        assert ch.total_bytes == 150
+        assert ch.total_messages == 2
+        ch.reset_counters()
+        assert ch.total_bytes == 0
+
+    def test_full_duplex(self):
+        _, ch = self.make()
+        t1 = ch.send("s0", "s1", 10**9)
+        t2 = ch.send("s1", "s0", 10**9)
+        assert t2.start == 0.0  # opposite directions do not serialise
+
+    def test_same_direction_serialises(self):
+        _, ch = self.make()
+        t1 = ch.send("s0", "s1", 10**9)
+        t2 = ch.send("s0", "s1", 10**9)
+        assert t2.start == t1.finish
+
+    def test_unknown_endpoints(self):
+        _, ch = self.make()
+        with pytest.raises(TransportError):
+            ch.send("s0", "elsewhere", 10)
+
+    def test_negative_size(self):
+        _, ch = self.make()
+        with pytest.raises(TransportError):
+            ch.send("s0", "s1", -1)
+
+    def test_ethernet_slower_than_ib(self):
+        assert ETHERNET_10G.transfer_seconds(10**9) > INFINIBAND_100G.transfer_seconds(10**9)
+
+
+class TestCSR:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 12), st.integers(1, 12), st.floats(0, 1), st.integers(0, 999))
+    def test_roundtrip(self, m, n, sparsity, seed):
+        rng = np.random.default_rng(seed)
+        dense = rng.normal(size=(m, n))
+        dense[rng.random((m, n)) < sparsity] = 0.0
+        assert np.array_equal(csr_decode(csr_encode(dense)), dense)
+
+    def test_uint64_roundtrip(self, rng):
+        dense = rng.integers(0, 2**64, size=(6, 6), dtype=np.uint64)
+        dense[dense % np.uint64(3) == 0] = np.uint64(0)
+        assert np.array_equal(csr_decode(csr_encode(dense)), dense)
+
+    def test_all_zero(self):
+        dense = np.zeros((4, 5))
+        csr = csr_encode(dense)
+        assert csr.nnz == 0
+        assert np.array_equal(csr_decode(csr), dense)
+
+    def test_nbytes_prediction_matches_encoding(self, rng):
+        dense = rng.normal(size=(20, 20))
+        dense[rng.random((20, 20)) < 0.8] = 0.0
+        assert csr_nbytes(dense) == csr_encode(dense).nbytes
+
+    def test_sparse_smaller_than_dense(self, rng):
+        dense = np.zeros((100, 100))
+        dense[0, :10] = 1.0
+        assert csr_nbytes(dense) < dense_nbytes(dense)
+
+    def test_density(self):
+        d = np.array([[1.0, 0.0], [0.0, 0.0]])
+        assert density(d) == 0.25
+
+
+class TestDeltaCompressor:
+    def test_first_send_is_dense(self, rng):
+        comp = DeltaCompressor()
+        m = rng.normal(size=(8, 8))
+        payload = comp.encode("k", m)
+        assert payload.kind == "dense"
+
+    def test_sparse_delta_compresses(self, rng):
+        comp = DeltaCompressor(0.75)
+        base = rng.normal(size=(32, 32))
+        comp.encode("k", base)
+        nxt = base.copy()
+        nxt[0, 0] += 1.0  # 1/1024 changed
+        payload = comp.encode("k", nxt)
+        assert payload.kind == "csr_delta"
+        assert payload.wire_bytes < dense_nbytes(nxt)
+
+    def test_dense_delta_stays_dense(self, rng):
+        comp = DeltaCompressor(0.75)
+        comp.encode("k", rng.normal(size=(16, 16)))
+        payload = comp.encode("k", rng.normal(size=(16, 16)))
+        assert payload.kind == "dense"
+
+    def test_receiver_reconstructs_exactly(self, rng):
+        sender = DeltaCompressor(0.5)
+        receiver = DeltaCompressor(0.5)
+        base = rng.integers(0, 2**64, size=(16, 16), dtype=np.uint64)
+        stream = [base]
+        for _ in range(5):
+            nxt = stream[-1].copy()
+            nxt[0, 0] += np.uint64(1)
+            stream.append(nxt)
+        for m in stream:
+            payload = sender.encode("w", m)
+            got = receiver.decode(payload)
+            assert np.array_equal(got, m)
+
+    def test_threshold_respected(self, rng):
+        comp = DeltaCompressor(0.99)  # requires 99% zeros
+        base = rng.normal(size=(10, 10))
+        comp.encode("k", base)
+        nxt = base.copy()
+        nxt[0, :5] += 1.0  # only 95% zeros in delta
+        assert comp.encode("k", nxt).kind == "dense"
+
+    def test_disabled_never_compresses(self, rng):
+        comp = DeltaCompressor(enabled=False)
+        base = rng.normal(size=(8, 8))
+        comp.encode("k", base)
+        assert comp.encode("k", base).kind == "dense"
+
+    def test_delta_without_state_rejected(self):
+        comp = DeltaCompressor()
+        other = DeltaCompressor()
+        base = np.ones((4, 4))
+        other.encode("k", base)
+        payload = other.encode("k", base)  # csr delta (all-zero diff)
+        assert payload.kind == "csr_delta"
+        with pytest.raises(ProtocolError):
+            comp.decode(payload)
+
+    def test_stats_track_savings(self, rng):
+        comp = DeltaCompressor(0.5)
+        base = rng.normal(size=(64, 64))
+        comp.encode("k", base)
+        comp.encode("k", base)  # zero delta -> tiny wire size
+        assert comp.stats.raw_bytes == 2 * base.nbytes
+        assert comp.stats.wire_bytes < comp.stats.raw_bytes
+        assert 0 < comp.stats.savings_fraction < 1
+        assert comp.stats.dense_messages == 1
+        assert comp.stats.compressed_messages == 1
+
+    def test_shape_change_resets_stream(self, rng):
+        comp = DeltaCompressor()
+        comp.encode("k", rng.normal(size=(4, 4)))
+        payload = comp.encode("k", rng.normal(size=(8, 8)))
+        assert payload.kind == "dense"
+
+
+class TestTransport:
+    def test_fifo_per_tag(self):
+        hub = TransportHub(["a", "b"])
+        hub.send("a", "b", "t", 1)
+        hub.send("a", "b", "t", 2)
+        assert hub.recv("b", "a", "t") == 1
+        assert hub.recv("b", "a", "t") == 2
+
+    def test_tags_are_independent(self):
+        hub = TransportHub(["a", "b"])
+        hub.send("a", "b", "x", "first-x")
+        hub.send("a", "b", "y", "first-y")
+        assert hub.recv("b", "a", "y") == "first-y"
+        assert hub.recv("b", "a", "x") == "first-x"
+
+    def test_exchange(self):
+        hub = TransportHub(["a", "b"])
+        got_a, got_b = hub.exchange("a", "b", "e", "from-a", "from-b")
+        assert got_a == "from-b"
+        assert got_b == "from-a"
+
+    def test_missing_message_raises(self):
+        hub = TransportHub(["a", "b"])
+        with pytest.raises(TransportError):
+            hub.recv("b", "a", "t")
+
+    def test_self_send_rejected(self):
+        hub = TransportHub(["a", "b"])
+        with pytest.raises(TransportError):
+            hub.send("a", "a", "t", 1)
+
+    def test_unknown_endpoint(self):
+        hub = TransportHub(["a", "b"])
+        with pytest.raises(TransportError):
+            hub.send("a", "c", "t", 1)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TransportError):
+            TransportHub(["a", "a"])
+
+    def test_pending_count(self):
+        hub = TransportHub(["a", "b"])
+        hub.send("a", "b", "t", 1)
+        assert hub.mailboxes["b"].pending("a", "t") == 1

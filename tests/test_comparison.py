@@ -1,0 +1,131 @@
+"""Dealer-assisted secure comparison and its cost-identical emulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixedpoint.encoding import FixedPointEncoder
+from repro.mpc.comparison import (
+    ComparisonDealer,
+    comparison_online_bytes,
+    emulated_ge_const,
+    secure_ge_const,
+)
+from repro.mpc.shares import reconstruct, share_secret
+from repro.util.errors import ProtocolError, ShapeError
+
+
+def compare_via_protocol(values, threshold, seed=0):
+    enc = FixedPointEncoder(13)
+    rng = np.random.default_rng(seed)
+    encoded = enc.encode(np.asarray(values, dtype=np.float64))
+    pair = share_secret(encoded, rng)
+    dealer = ComparisonDealer(np.random.default_rng(seed + 1))
+    bundle = dealer.bundle(encoded.shape)
+    res = secure_ge_const(pair.share0, pair.share1, int(enc.encode(np.float64(threshold))), bundle)
+    return reconstruct(res.share0, res.share1).view(np.int64), res
+
+
+class TestDealerComparison:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(-50, 50, allow_nan=False), min_size=1, max_size=12),
+        st.floats(-10, 10, allow_nan=False),
+        st.integers(0, 10_000),
+    )
+    def test_matches_numpy(self, values, threshold, seed):
+        values = np.array(values)
+        # rule out encoding-boundary ties where float and fixed-point
+        # comparisons legitimately differ by one ulp
+        enc = FixedPointEncoder(13)
+        ok = np.abs(enc.decode(enc.encode(values)) - threshold) > 2 * enc.resolution
+        got, _ = compare_via_protocol(values, threshold, seed)
+        expected = (values >= threshold).astype(np.int64)
+        assert np.array_equal(got[ok], expected[ok])
+
+    def test_exact_on_grid_values(self):
+        # values exactly representable: comparison must be exact incl. ties
+        values = np.array([-1.0, -0.5, -0.25, 0.0, 0.25, 0.5, 1.0])
+        got, _ = compare_via_protocol(values, 0.5)
+        assert np.array_equal(got, (values >= 0.5).astype(np.int64))
+
+    def test_2d_shapes(self):
+        values = np.linspace(-2, 2, 24).reshape(4, 6)
+        got, _ = compare_via_protocol(values, 0.0)
+        assert got.shape == (4, 6)
+        assert np.array_equal(got, (values >= 0).astype(np.int64))
+
+    def test_bundle_single_use(self, rng):
+        dealer = ComparisonDealer(rng)
+        bundle = dealer.bundle((2, 2))
+        x = np.zeros((2, 2), dtype=np.uint64)
+        secure_ge_const(x, x, 0, bundle)
+        with pytest.raises(ProtocolError):
+            secure_ge_const(x, x, 0, bundle)
+
+    def test_shape_mismatch(self, rng):
+        dealer = ComparisonDealer(rng)
+        bundle = dealer.bundle((2, 2))
+        x = np.zeros((3, 2), dtype=np.uint64)
+        with pytest.raises(ShapeError):
+            secure_ge_const(x, x, 0, bundle)
+
+    def test_accounting_matches_formula(self):
+        values = np.linspace(-1, 1, 10)
+        _, res = compare_via_protocol(values, 0.0)
+        assert res.online_bytes == comparison_online_bytes(10)
+        assert res.rounds == 64
+
+
+class TestEmulatedParity:
+    """The emulation must match the real protocol in value and accounting."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 5000))
+    def test_values_identical(self, seed):
+        enc = FixedPointEncoder(13)
+        rng = np.random.default_rng(seed)
+        values = rng.normal(size=(5, 4)) * 3
+        encoded = enc.encode(values)
+        pair = share_secret(encoded, rng)
+        c = int(enc.encode(np.float64(0.25)))
+        dealer = ComparisonDealer(np.random.default_rng(seed + 2))
+        real = secure_ge_const(pair.share0, pair.share1, c, dealer.bundle(encoded.shape))
+        emu = emulated_ge_const(pair.share0, pair.share1, c, np.random.default_rng(seed + 3))
+        real_val = reconstruct(real.share0, real.share1)
+        emu_val = reconstruct(emu.share0, emu.share1)
+        assert np.array_equal(real_val, emu_val)
+
+    def test_accounting_identical(self, rng):
+        enc = FixedPointEncoder(13)
+        encoded = enc.encode(rng.normal(size=(7, 3)))
+        pair = share_secret(encoded, rng)
+        dealer = ComparisonDealer(np.random.default_rng(0))
+        real = secure_ge_const(pair.share0, pair.share1, 0, dealer.bundle(encoded.shape))
+        emu = emulated_ge_const(pair.share0, pair.share1, 0, rng)
+        assert emu.online_bytes == real.online_bytes
+        assert emu.rounds == real.rounds
+
+    def test_emulated_output_is_freshly_shared(self, rng):
+        x = np.zeros((4, 4), dtype=np.uint64)
+        a = emulated_ge_const(x, x, 0, np.random.default_rng(1))
+        b = emulated_ge_const(x, x, 0, np.random.default_rng(2))
+        assert not np.array_equal(a.share0, b.share0)  # different masks
+        assert np.array_equal(
+            reconstruct(a.share0, a.share1), reconstruct(b.share0, b.share1)
+        )
+
+
+class TestOfflineMaterial:
+    def test_offline_bytes_positive_and_scales(self, rng):
+        dealer = ComparisonDealer(rng)
+        small = dealer.bundle((4, 4)).offline_bytes
+        large = dealer.bundle((8, 8)).offline_bytes
+        assert 0 < small < large
+
+    def test_issuance_counter(self, rng):
+        dealer = ComparisonDealer(rng)
+        dealer.bundle((2,))
+        dealer.bundle((3,))
+        assert dealer.bundles_issued == 2

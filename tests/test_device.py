@@ -1,0 +1,143 @@
+"""Simulated devices: memory discipline, kernels, timing integration."""
+
+import numpy as np
+import pytest
+
+from repro.fixedpoint.ring import ring_matmul
+from repro.simgpu.clock import SimClock
+from repro.simgpu.cost import V100_SPEC, XEON_E5_2670V3_SPEC
+from repro.simgpu.device import SimCPU, SimGPU
+from repro.simgpu.cost import DeviceSpec
+from dataclasses import replace
+from repro.util.errors import DeviceError
+
+
+@pytest.fixture
+def gpu():
+    clock = SimClock()
+    return SimGPU(clock, V100_SPEC, "g")
+
+
+@pytest.fixture
+def cpu():
+    clock = SimClock()
+    return SimCPU(clock, XEON_E5_2670V3_SPEC, "c")
+
+
+class TestMemory:
+    def test_h2d_d2h_roundtrip(self, gpu, rng):
+        data = rng.integers(0, 2**64, size=(8, 8), dtype=np.uint64)
+        buf, _ = gpu.h2d(data)
+        back, _ = gpu.d2h(buf)
+        assert np.array_equal(back, data)
+
+    def test_use_after_free(self, gpu, rng):
+        buf, _ = gpu.h2d(rng.integers(0, 10, size=(4, 4), dtype=np.uint64))
+        gpu.free(buf)
+        with pytest.raises(DeviceError):
+            gpu.d2h(buf)
+
+    def test_double_free(self, gpu, rng):
+        buf, _ = gpu.h2d(rng.integers(0, 10, size=(4, 4), dtype=np.uint64))
+        gpu.free(buf)
+        with pytest.raises(DeviceError):
+            gpu.free(buf)
+
+    def test_out_of_memory(self):
+        clock = SimClock()
+        tiny = replace(V100_SPEC, memory_bytes=1024)
+        gpu = SimGPU(clock, tiny, "tiny")
+        with pytest.raises(DeviceError):
+            gpu.h2d(np.zeros((64, 64), dtype=np.uint64))
+
+    def test_peak_accounting(self, gpu, rng):
+        a, _ = gpu.h2d(np.zeros((16, 16), dtype=np.uint64))
+        b, _ = gpu.h2d(np.zeros((16, 16), dtype=np.uint64))
+        gpu.free(a)
+        assert gpu.pool.peak_bytes == 2 * 16 * 16 * 8
+        assert gpu.pool.allocated_bytes == 16 * 16 * 8
+        gpu.free(b)
+
+
+class TestKernels:
+    def test_gemm_ring_exact(self, gpu, rng):
+        a = rng.integers(0, 2**64, size=(5, 7), dtype=np.uint64)
+        b = rng.integers(0, 2**64, size=(7, 3), dtype=np.uint64)
+        a_buf, _ = gpu.h2d(a)
+        b_buf, _ = gpu.h2d(b)
+        out, _ = gpu.gemm_ring(a_buf, b_buf)
+        assert np.array_equal(out.require_live(), ring_matmul(a, b))
+
+    def test_gemm_float_fp16_really_rounds(self, rng):
+        clock = SimClock()
+        gpu = SimGPU(clock, V100_SPEC, "tc", tensor_core=True)
+        a = rng.normal(size=(8, 8)).astype(np.float32) * 1e-4
+        b = rng.normal(size=(8, 8)).astype(np.float32)
+        a_buf, _ = gpu.h2d(a)
+        b_buf, _ = gpu.h2d(b)
+        out, _ = gpu.gemm_float(a_buf, b_buf)
+        fp16_ref = a.astype(np.float16).astype(np.float32) @ b.astype(np.float16).astype(
+            np.float32
+        )
+        assert np.array_equal(out.require_live(), fp16_ref)
+
+    def test_elementwise_charges_time(self, gpu, rng):
+        data = rng.integers(0, 10, size=(64, 64), dtype=np.uint64)
+        buf, _ = gpu.h2d(data)
+        _, task = gpu.ring_add(buf, buf)
+        assert task.duration > 0
+
+    def test_stream_serialisation(self, gpu, rng):
+        buf, _ = gpu.h2d(rng.integers(0, 10, size=(32, 32), dtype=np.uint64))
+        _, t1 = gpu.ring_add(buf, buf)
+        _, t2 = gpu.ring_add(buf, buf)
+        assert t2.start >= t1.finish  # same stream
+
+    def test_streams_are_independent(self, rng):
+        clock = SimClock()
+        gpu = SimGPU(clock, V100_SPEC, "g2", n_streams=2)
+        a, _ = gpu.h2d(rng.integers(0, 2**32, size=(64, 64), dtype=np.uint64))
+        _, t1 = gpu.gemm_ring(a, a, stream=0)
+        _, t2 = gpu.gemm_ring(a, a, stream=1)
+        assert t2.start < t1.finish  # overlapping
+
+    def test_invalid_stream(self, gpu):
+        with pytest.raises(DeviceError):
+            gpu.stream(5)
+
+    def test_curand_first_call_pays_setup(self, gpu, rng):
+        _, t1 = gpu.curand_uniform_ring((16, 16), rng)
+        _, t2 = gpu.curand_uniform_ring((16, 16), rng)
+        assert t1.duration > t2.duration
+
+    def test_counters(self, gpu, rng):
+        a = rng.integers(0, 2**32, size=(4, 4), dtype=np.uint64)
+        a_buf, _ = gpu.h2d(a)
+        gpu.gemm_ring(a_buf, a_buf)
+        assert gpu.gemm_count == 1
+        assert gpu.gemm_flops == 2 * 4 * 4 * 4
+        assert gpu.h2d_bytes == a.nbytes
+
+
+class TestSimCPU:
+    def test_gemm_ring_exact(self, cpu, rng):
+        a = rng.integers(0, 2**64, size=(4, 6), dtype=np.uint64)
+        b = rng.integers(0, 2**64, size=(6, 2), dtype=np.uint64)
+        out, task = cpu.gemm_ring(a, b)
+        assert np.array_equal(out, ring_matmul(a, b))
+        assert task.duration > 0
+
+    def test_parallel_flag_speeds_elementwise(self):
+        clock = SimClock()
+        fast = SimCPU(clock, XEON_E5_2670V3_SPEC, "f", parallel_enabled=True)
+        slow = SimCPU(clock, XEON_E5_2670V3_SPEC, "s", parallel_enabled=False)
+        arr = np.zeros(1_000_000, dtype=np.uint64)
+        _, tf = fast.elementwise(lambda x: x, [arr])
+        _, ts = slow.elementwise(lambda x: x, [arr])
+        assert tf.duration < ts.duration
+
+    def test_rng_fills_and_charges(self, cpu, rng):
+        data, task = cpu.rng_uniform_ring((16, 16), rng)
+        assert data.shape == (16, 16)
+        assert cpu.rng_bytes == 16 * 16 * 8
+        assert task.duration > 0

@@ -1,0 +1,141 @@
+"""Secure layers against plain-float references."""
+
+import numpy as np
+import pytest
+
+from repro.core.layers import SecureActivation, SecureConv2D, SecureDense, SecureRNNCell
+from repro.core.tensor import SharedTensor
+from repro.simgpu.kernels import conv_output_size, im2col
+from repro.util.errors import ProtocolError, ShapeError
+
+
+def shared(ctx, arr, **kw):
+    return SharedTensor.from_plain(ctx, np.asarray(arr, dtype=np.float64), **kw)
+
+
+def set_weights(layer_tensor, ctx, values):
+    """Overwrite a layer's shared parameter with known values."""
+    pair = ctx.share_plain(np.asarray(values, dtype=np.float64), label="test/W")
+    layer_tensor.shares = (pair.share0, pair.share1)
+    return layer_tensor
+
+
+class TestSecureDense:
+    def test_forward_matches_reference(self, ctx, rng):
+        layer = SecureDense(ctx, 6, 4, name="d")
+        w = rng.normal(size=(6, 4)) * 0.3
+        b = rng.normal(size=(1, 4)) * 0.1
+        set_weights(layer.weight, ctx, w)
+        set_weights(layer.bias, ctx, b)
+        x = rng.normal(size=(5, 6))
+        out = layer.forward(shared(ctx, x))
+        np.testing.assert_allclose(out.decode(), x @ w + b, atol=5e-3)
+
+    def test_backward_gradients_match_reference(self, ctx, rng):
+        layer = SecureDense(ctx, 4, 3, name="d")
+        w = rng.normal(size=(4, 3)) * 0.3
+        set_weights(layer.weight, ctx, w)
+        set_weights(layer.bias, ctx, np.zeros((1, 3)))
+        x = rng.normal(size=(8, 4))
+        delta = rng.normal(size=(8, 3))
+        layer.forward(shared(ctx, x))
+        dx = layer.backward(shared(ctx, delta))
+        np.testing.assert_allclose(dx.decode(), delta @ w.T, atol=5e-3)
+        np.testing.assert_allclose(layer._grad_w.decode(), x.T @ delta / 8, atol=5e-3)
+        np.testing.assert_allclose(
+            layer._grad_b.decode(), delta.mean(axis=0, keepdims=True), atol=5e-3
+        )
+
+    def test_sgd_update(self, ctx, rng):
+        layer = SecureDense(ctx, 3, 2, name="d")
+        w0 = layer.weight.decode().copy()
+        x = rng.normal(size=(4, 3))
+        y = rng.normal(size=(4, 2))
+        pred = layer.forward(shared(ctx, x))
+        layer.backward(pred - shared(ctx, y))
+        layer.apply_gradients(0.5)
+        assert not np.allclose(layer.weight.decode(), w0)
+
+    def test_wrong_input_width(self, ctx, rng):
+        layer = SecureDense(ctx, 3, 2, name="d")
+        with pytest.raises(ShapeError):
+            layer.forward(shared(ctx, rng.normal(size=(4, 5))))
+
+    def test_backward_before_forward(self, ctx, rng):
+        layer = SecureDense(ctx, 3, 2, name="d")
+        with pytest.raises(ProtocolError):
+            layer.backward(shared(ctx, rng.normal(size=(4, 2))))
+
+
+class TestSecureActivation:
+    def test_relu_forward_backward(self, ctx, rng):
+        layer = SecureActivation(ctx, "relu", name="a")
+        x = rng.normal(size=(6, 5))
+        out = layer.forward(shared(ctx, x))
+        np.testing.assert_allclose(out.decode(), np.maximum(x, 0), atol=3e-4)
+        delta = rng.normal(size=(6, 5))
+        dx = layer.backward(shared(ctx, delta))
+        np.testing.assert_allclose(dx.decode(), delta * (x >= 0), atol=3e-4)
+
+    def test_unknown_kind(self, ctx):
+        with pytest.raises(ProtocolError):
+            SecureActivation(ctx, "gelu")
+
+
+class TestSecureConv2D:
+    def test_forward_matches_gemm_reference(self, ctx, rng):
+        layer = SecureConv2D(ctx, (6, 6, 1), out_channels=3, kernel=3, name="c")
+        w = rng.normal(size=(9, 3)) * 0.3
+        set_weights(layer.weight, ctx, w)
+        x = rng.normal(size=(2, 36))
+        out = layer.forward(shared(ctx, x))
+        cols = im2col(x.reshape(2, 6, 6, 1), 3, 3)
+        expected = (cols @ w).reshape(2, -1)
+        np.testing.assert_allclose(out.decode(), expected, atol=1e-2)
+
+    def test_backward_weight_gradient(self, ctx, rng):
+        layer = SecureConv2D(ctx, (5, 5, 1), out_channels=2, kernel=3, name="c")
+        w = rng.normal(size=(9, 2)) * 0.3
+        set_weights(layer.weight, ctx, w)
+        x = rng.normal(size=(2, 25))
+        layer.forward(shared(ctx, x))
+        oh = ow = 3
+        delta = rng.normal(size=(2, oh * ow * 2))
+        layer.backward(shared(ctx, delta))
+        cols = im2col(x.reshape(2, 5, 5, 1), 3, 3)
+        expected_gw = cols.T @ delta.reshape(2 * oh * ow, 2) / 2
+        np.testing.assert_allclose(layer._grad_w.decode(), expected_gw, atol=1e-2)
+
+    def test_stride(self, ctx):
+        layer = SecureConv2D(ctx, (9, 9, 1), out_channels=1, kernel=3, stride=2, name="c")
+        assert (layer.out_h, layer.out_w) == conv_output_size(9, 9, 3, 3, 2)
+
+    def test_wrong_input_size(self, ctx, rng):
+        layer = SecureConv2D(ctx, (5, 5, 1), out_channels=2, kernel=3, name="c")
+        with pytest.raises(ShapeError):
+            layer.forward(shared(ctx, rng.normal(size=(2, 16))))
+
+
+class TestSecureRNNCell:
+    def test_step_matches_reference(self, ctx, rng):
+        cell = SecureRNNCell(ctx, 4, 3, name="r")
+        wx = rng.normal(size=(4, 3)) * 0.3
+        wh = rng.normal(size=(3, 3)) * 0.3
+        set_weights(cell.w_x, ctx, wx)
+        set_weights(cell.w_h, ctx, wh)
+        set_weights(cell.bias, ctx, np.zeros((1, 3)))
+        x = rng.normal(size=(5, 4))
+        h = cell.zero_state(5)
+        out = cell.step(shared(ctx, x), h, 0)
+        expected = np.maximum(x @ wx, 0)
+        np.testing.assert_allclose(out.decode(), expected, atol=1e-2)
+
+    def test_bptt_produces_gradients(self, ctx, rng):
+        cell = SecureRNNCell(ctx, 3, 2, name="r")
+        h = cell.zero_state(4)
+        for t in range(3):
+            h = cell.step(shared(ctx, rng.normal(size=(4, 3))), h, t)
+        cell.backward_through_time(shared(ctx, rng.normal(size=(4, 2))))
+        assert cell._grad_wx.shape == (3, 2)
+        assert cell._grad_wh.shape == (2, 2)
+        cell.apply_gradients(0.1)  # must not raise

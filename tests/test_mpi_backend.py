@@ -1,0 +1,101 @@
+"""MPI-style transport backend (loopback in-process; real MPI guarded)."""
+
+import numpy as np
+import pytest
+
+from repro.comm.mpi_backend import (
+    HAVE_MPI,
+    LoopbackTransport,
+    MPITransport,
+    ROLE_BY_RANK,
+    _mpi_tag,
+)
+from repro.util.errors import TransportError
+
+
+class TestLoopback:
+    def test_roles(self):
+        hub = LoopbackTransport()
+        for role in ROLE_BY_RANK.values():
+            assert hub.as_role(role).role == role
+        with pytest.raises(TransportError):
+            hub.as_role("server9")
+
+    def test_array_roundtrip(self, rng):
+        hub = LoopbackTransport()
+        client = hub.as_role("client")
+        s0 = hub.as_role("server0")
+        payload = rng.integers(0, 2**64, size=(8, 8), dtype=np.uint64)
+        client.send("server0", "shares", payload)
+        got = s0.recv("client", "shares")
+        assert np.array_equal(got, payload)
+
+    def test_exchange_between_servers(self):
+        hub = LoopbackTransport()
+        s0, s1 = hub.as_role("server0"), hub.as_role("server1")
+        s0.send("server1", "E", "e0")
+        s1.send("server0", "E", "e1")
+        assert s0.recv("server1", "E") == "e1"
+        assert s1.recv("server0", "E") == "e0"
+
+    def test_tag_isolation(self):
+        hub = LoopbackTransport()
+        c, s0 = hub.as_role("client"), hub.as_role("server0")
+        c.send("server0", "a", 1)
+        c.send("server0", "b", 2)
+        assert s0.recv("client", "b") == 2
+        assert s0.recv("client", "a") == 1
+
+    def test_barrier_is_noop(self):
+        assert LoopbackTransport().as_role("client").barrier() is None
+
+    def test_secure_matmul_over_loopback(self, rng, encoder):
+        """Full Eq. 4-8 protocol driven through the transport interface,
+        as a 3-rank deployment would run it."""
+        from repro.fixedpoint.truncation import truncate_share
+        from repro.mpc.protocol import beaver_matmul_share, combine_masked, masked_difference
+        from repro.mpc.shares import reconstruct, share_secret
+        from repro.mpc.triplets import TripletDealer
+
+        hub = LoopbackTransport()
+        client = hub.as_role("client")
+        servers = [hub.as_role("server0"), hub.as_role("server1")]
+
+        a = rng.normal(size=(4, 5))
+        b = rng.normal(size=(5, 3))
+        ap = share_secret(encoder.encode(a), rng)
+        bp = share_secret(encoder.encode(b), rng)
+        trip = TripletDealer(np.random.default_rng(1)).matrix_triplet((4, 5), (5, 3))
+        # client distributes shares and triplet material
+        for i in (0, 1):
+            client.send(f"server{i}", "material", (ap[i], bp[i], trip.u[i], trip.v[i], trip.z[i]))
+
+        # each server: local E_i/F_i, exchange, compute C_i, return to client
+        c_shares = []
+        e_f = []
+        for i in (0, 1):
+            a_i, b_i, u_i, v_i, z_i = servers[i].recv("client", "material")
+            e_f.append((masked_difference(a_i, u_i), masked_difference(b_i, v_i), a_i, b_i, z_i))
+        for i in (0, 1):
+            servers[i].send(f"server{1 - i}", "EF", (e_f[i][0], e_f[i][1]))
+        for i in (0, 1):
+            e_r, f_r = servers[i].recv(f"server{1 - i}", "EF")
+            e = combine_masked(e_f[i][0], e_r)
+            f = combine_masked(e_f[i][1], f_r)
+            c_i = beaver_matmul_share(i, e, f, e_f[i][2], e_f[i][3], trip.share_for(i))
+            servers[i].send("client", "result", truncate_share(c_i, 13, i))
+        for i in (0, 1):
+            c_shares.append(client.recv(f"server{i}", "result"))
+        out = encoder.decode(reconstruct(*c_shares))
+        np.testing.assert_allclose(out, a @ b, atol=5 * 2**-12 + 2**-10)
+
+
+class TestMPIGuards:
+    def test_tag_hash_in_range(self):
+        for tag in ("E", "F", "layer3/dW", "x" * 100):
+            assert 1 <= _mpi_tag(tag) <= 0x7FFF
+
+    @pytest.mark.skipif(HAVE_MPI, reason="mpi4py installed; guard not applicable")
+    def test_clear_error_without_mpi4py(self):
+        with pytest.raises(TransportError, match="mpi4py"):
+            MPITransport()

@@ -1,0 +1,144 @@
+"""Optimizers on shares and shared-model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import load_model, save_model
+from repro.core.models import SecureLinearRegression, SecureMLP
+from repro.core.optim import SGD, AveragedSGD, MomentumSGD
+from repro.core.tensor import SharedTensor
+from repro.util.errors import ConfigError, ProtocolError
+
+
+def make_problem(rng, n=192, d=8, out=2):
+    x = rng.normal(size=(n, d)) * 0.5
+    y = x @ (rng.normal(size=(d, out)) * 0.4)
+    return x, y
+
+
+def run_epochs(ctx, model, opt, x, y, epochs=8, batch=64):
+    losses = []
+    for _ in range(epochs):
+        for lo in range(0, x.shape[0] - batch + 1, batch):
+            xb = SharedTensor.from_plain(ctx, x[lo : lo + batch], label="x")
+            yb = SharedTensor.from_plain(ctx, y[lo : lo + batch], label="y")
+            pred = model.forward(xb, training=True)
+            delta = pred - yb
+            model.backward(delta)
+            opt.step(model)
+            losses.append(float(np.mean((pred.decode() - y[lo : lo + batch]) ** 2)))
+    return losses
+
+
+class TestOptimizers:
+    def test_sgd_matches_builtin_apply(self, rng):
+        from conftest import make_ctx
+
+        x, y = make_problem(rng)
+        # model A: built-in apply_gradients; model B: optim.SGD
+        results = []
+        for use_opt in (False, True):
+            ctx = make_ctx(seed=11, activation_protocol="dealer")
+            model = SecureLinearRegression(ctx, 8, n_out=2)
+            opt = SGD(lr=0.25)
+            for lo in range(0, 128, 64):
+                xb = SharedTensor.from_plain(ctx, x[lo : lo + 64], label="x")
+                yb = SharedTensor.from_plain(ctx, y[lo : lo + 64], label="y")
+                pred = model.forward(xb, training=True)
+                model.backward(pred - yb)
+                if use_opt:
+                    opt.step(model)
+                else:
+                    model.apply_gradients(0.25)
+            results.append([p.decode() for p in model.parameters()])
+        for a, b in zip(results[0], results[1]):
+            np.testing.assert_array_equal(a, b)
+
+    def test_momentum_accelerates_convergence(self, ctx, rng):
+        x, y = make_problem(rng)
+        model = SecureLinearRegression(ctx, 8, n_out=2)
+        losses = run_epochs(ctx, model, MomentumSGD(lr=0.1, momentum=0.875), x, y)
+        assert losses[-1] < 0.1 * losses[0]
+
+    def test_momentum_state_is_shared(self, ctx, rng):
+        x, y = make_problem(rng)
+        model = SecureLinearRegression(ctx, 8, n_out=2)
+        opt = MomentumSGD(lr=0.1)
+        run_epochs(ctx, model, opt, x, y, epochs=1)
+        assert all(isinstance(v, SharedTensor) for v in opt._velocity.values())
+
+    def test_averaged_sgd_average(self, ctx, rng):
+        x, y = make_problem(rng)
+        model = SecureLinearRegression(ctx, 8, n_out=2)
+        opt = AveragedSGD(lr=0.25)
+        run_epochs(ctx, model, opt, x, y, epochs=2)
+        avg = opt.average("0/weight")
+        assert avg.shape == (8, 2)
+        # the average is a genuine shared tensor near the final iterate
+        assert np.abs(avg.decode() - model.layers[0].weight.decode()).max() < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SGD(lr=0)
+        with pytest.raises(ConfigError):
+            MomentumSGD(momentum=1.0)
+        with pytest.raises(ConfigError):
+            AveragedSGD().average("nope")
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, ctx, rng, tmp_path):
+        from conftest import make_ctx
+
+        model = SecureMLP(ctx, 6, hidden=(5,), n_out=2)
+        save_model(model, tmp_path / "ckpt")
+
+        ctx2 = make_ctx(seed=999, activation_protocol="dealer")
+        model2 = SecureMLP(ctx2, 6, hidden=(5,), n_out=2)
+        load_model(model2, tmp_path / "ckpt")
+        for a, b in zip(model.parameters(), model2.parameters()):
+            np.testing.assert_array_equal(a.decode(), b.decode())
+
+    def test_each_server_file_reveals_nothing(self, ctx, tmp_path):
+        model = SecureLinearRegression(ctx, 4, n_out=1)
+        save_model(model, tmp_path / "ckpt")
+        share0 = np.load(tmp_path / "ckpt" / "server0.npz")["linreg/weight"]
+        # a single archive holds one additive share: uniform-looking
+        data = share0.reshape(-1).view(np.uint8)
+        counts = np.bincount(data, minlength=256)
+        assert counts.max() < 4 * max(1, data.size // 256) + 8
+
+    def test_frac_bits_mismatch_rejected(self, ctx, tmp_path):
+        from conftest import make_ctx
+
+        model = SecureLinearRegression(ctx, 4, n_out=1)
+        save_model(model, tmp_path / "ckpt")
+        ctx2 = make_ctx(frac_bits=10)
+        model2 = SecureLinearRegression(ctx2, 4, n_out=1)
+        with pytest.raises(ProtocolError):
+            load_model(model2, tmp_path / "ckpt")
+
+    def test_inventory_mismatch_rejected(self, ctx, tmp_path):
+        from conftest import make_ctx
+
+        model = SecureLinearRegression(ctx, 4, n_out=1)
+        save_model(model, tmp_path / "ckpt")
+        ctx2 = make_ctx(seed=1)
+        other = SecureMLP(ctx2, 4, hidden=(3,), n_out=1)
+        with pytest.raises(ProtocolError):
+            load_model(other, tmp_path / "ckpt")
+
+    def test_missing_manifest(self, ctx, tmp_path):
+        model = SecureLinearRegression(ctx, 4, n_out=1)
+        with pytest.raises(ConfigError):
+            load_model(model, tmp_path / "nowhere")
+
+    def test_shape_mismatch_rejected(self, ctx, tmp_path):
+        from conftest import make_ctx
+
+        model = SecureLinearRegression(ctx, 4, n_out=1)
+        save_model(model, tmp_path / "ckpt")
+        ctx2 = make_ctx(seed=2)
+        wrong = SecureLinearRegression(ctx2, 5, n_out=1)
+        with pytest.raises(ProtocolError):
+            load_model(wrong, tmp_path / "ckpt")

@@ -1,0 +1,76 @@
+"""Thread-safe parallel RNG (paper Section 5.1)."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.mpc.prandom import ThreadSafeGeneratorPool, _row_blocks, parallel_uniform_ring
+from repro.util.errors import ConfigError
+
+
+class TestPool:
+    def test_per_worker_streams_independent(self):
+        pool = ThreadSafeGeneratorPool(4, seed=7)
+        draws = [pool.generator(i).integers(0, 2**64, 16, dtype=np.uint64) for i in range(4)]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_same_seed_reproduces(self):
+        a = ThreadSafeGeneratorPool(3, seed=1).generator(0).integers(0, 100, 10)
+        b = ThreadSafeGeneratorPool(3, seed=1).generator(0).integers(0, 100, 10)
+        assert np.array_equal(a, b)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigError):
+            ThreadSafeGeneratorPool(0)
+
+    def test_thread_generator_is_stable_per_thread(self):
+        pool = ThreadSafeGeneratorPool(2, seed=3)
+        g1 = pool.thread_generator()
+        g2 = pool.thread_generator()
+        assert g1 is g2
+
+
+class TestRowBlocks:
+    def test_partition_covers_all_rows(self):
+        blocks = _row_blocks(100, 7)
+        assert blocks[0][0] == 0
+        assert blocks[-1][1] == 100
+        for (a, b), (c, d) in zip(blocks, blocks[1:]):
+            assert b == c  # contiguous
+
+    def test_no_empty_blocks(self):
+        for rows in (1, 3, 8, 100):
+            for workers in (1, 2, 8, 32):
+                for start, stop in _row_blocks(rows, workers):
+                    assert stop > start
+
+    def test_empty_matrix(self):
+        assert _row_blocks(0, 4) == []
+
+
+class TestParallelFill:
+    def test_sequential_equals_threaded(self):
+        """The paper's design goal: determinism independent of scheduling."""
+        pool_a = ThreadSafeGeneratorPool(4, seed=11)
+        pool_b = ThreadSafeGeneratorPool(4, seed=11)
+        seq = parallel_uniform_ring((64, 16), pool_a)
+        with ThreadPoolExecutor(max_workers=4) as ex:
+            par = parallel_uniform_ring((64, 16), pool_b, executor=ex)
+        assert np.array_equal(seq, par)
+
+    def test_output_shape_and_dtype(self):
+        pool = ThreadSafeGeneratorPool(2, seed=0)
+        out = parallel_uniform_ring((10, 3), pool)
+        assert out.shape == (10, 3)
+        assert out.dtype == np.uint64
+
+    def test_coarse_uniformity(self):
+        pool = ThreadSafeGeneratorPool(4, seed=5)
+        out = parallel_uniform_ring((256, 256), pool)
+        mean = float(out.mean())
+        expected = (2**64 - 1) / 2
+        sd = 2**64 / np.sqrt(12 * out.size)
+        assert abs(mean - expected) < 6 * sd

@@ -1,0 +1,129 @@
+"""Ring arithmetic in Z_{2^64}: exactness against Python big integers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixedpoint.ring import (
+    ring_add,
+    ring_matmul,
+    ring_mul,
+    ring_neg,
+    ring_sub,
+    ring_sum,
+)
+from repro.util.errors import ShapeError
+
+MOD = 2**64
+
+u64 = st.integers(min_value=0, max_value=MOD - 1)
+
+
+def as_arr(values):
+    return np.array(values, dtype=np.uint64)
+
+
+class TestElementwise:
+    @given(u64, u64)
+    def test_add_matches_python(self, a, b):
+        assert int(ring_add(as_arr([a]), as_arr([b]))[0]) == (a + b) % MOD
+
+    @given(u64, u64)
+    def test_sub_matches_python(self, a, b):
+        assert int(ring_sub(as_arr([a]), as_arr([b]))[0]) == (a - b) % MOD
+
+    @given(u64, u64)
+    def test_mul_matches_python(self, a, b):
+        assert int(ring_mul(as_arr([a]), as_arr([b]))[0]) == (a * b) % MOD
+
+    @given(u64)
+    def test_neg_is_additive_inverse(self, a):
+        arr = as_arr([a])
+        assert int(ring_add(arr, ring_neg(arr))[0]) == 0
+
+    @given(st.lists(u64, min_size=1, max_size=20))
+    def test_sum_matches_python(self, values):
+        assert int(ring_sum(as_arr(values))) == sum(values) % MOD
+
+    def test_add_broadcasts(self):
+        a = np.zeros((3, 4), dtype=np.uint64)
+        b = np.uint64(7)
+        assert (ring_add(a, b) == 7).all()
+
+    def test_rejects_float_input(self):
+        with pytest.raises(TypeError):
+            ring_add(np.ones(3), as_arr([1, 2, 3]))
+
+    def test_accepts_other_integer_dtypes(self):
+        a = np.array([1, 2], dtype=np.int32)
+        out = ring_add(a, a)
+        assert out.dtype == np.uint64
+        assert list(out) == [2, 4]
+
+
+class TestMatmul:
+    def _reference(self, a, b):
+        """Python-int matmul mod 2^64 (slow, exact)."""
+        m, k = a.shape
+        n = b.shape[1]
+        out = np.zeros((m, n), dtype=np.uint64)
+        for i in range(m):
+            for j in range(n):
+                acc = 0
+                for t in range(k):
+                    acc += int(a[i, t]) * int(b[t, j])
+                out[i, j] = acc % MOD
+        return out
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(1, 5),
+        st.integers(1, 5),
+        st.integers(1, 5),
+        st.integers(0, 2**32),
+    )
+    def test_matches_python_reference(self, m, k, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, MOD, size=(m, k), dtype=np.uint64)
+        b = rng.integers(0, MOD, size=(k, n), dtype=np.uint64)
+        assert np.array_equal(ring_matmul(a, b), self._reference(a, b))
+
+    def test_matches_numpy_uint64_matmul(self, rng):
+        # NumPy's uint64 matmul wraps mod 2^64 (C unsigned semantics) —
+        # slower than our limb path but a valid oracle.
+        a = rng.integers(0, MOD, size=(17, 33), dtype=np.uint64)
+        b = rng.integers(0, MOD, size=(33, 9), dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            expected = a @ b
+        assert np.array_equal(ring_matmul(a, b), expected)
+
+    def test_extreme_values(self):
+        a = np.full((2, 3), MOD - 1, dtype=np.uint64)
+        b = np.full((3, 2), MOD - 1, dtype=np.uint64)
+        expected = np.full((2, 2), (3 * (MOD - 1) ** 2) % MOD, dtype=np.uint64)
+        assert np.array_equal(ring_matmul(a, b), expected)
+
+    def test_identity(self, rng):
+        a = rng.integers(0, MOD, size=(6, 6), dtype=np.uint64)
+        eye = np.eye(6, dtype=np.uint64)
+        assert np.array_equal(ring_matmul(a, eye), a)
+
+    def test_distributes_over_addition(self, rng):
+        a = rng.integers(0, MOD, size=(4, 7), dtype=np.uint64)
+        b = rng.integers(0, MOD, size=(7, 3), dtype=np.uint64)
+        c = rng.integers(0, MOD, size=(7, 3), dtype=np.uint64)
+        left = ring_matmul(a, ring_add(b, c))
+        right = ring_add(ring_matmul(a, b), ring_matmul(a, c))
+        assert np.array_equal(left, right)
+
+    def test_shape_mismatch_raises(self, rng):
+        a = rng.integers(0, MOD, size=(4, 7), dtype=np.uint64)
+        b = rng.integers(0, MOD, size=(6, 3), dtype=np.uint64)
+        with pytest.raises(ShapeError):
+            ring_matmul(a, b)
+
+    def test_non_2d_raises(self, rng):
+        a = rng.integers(0, MOD, size=(4,), dtype=np.uint64)
+        with pytest.raises(ShapeError):
+            ring_matmul(a, a)

@@ -1,0 +1,72 @@
+"""Additive secret sharing: correctness and the security invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpc.shares import SharePair, reconstruct, share_secret
+from repro.util.errors import ProtocolError, ShapeError
+
+MOD = 2**64
+
+
+class TestRoundtrip:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**32), st.integers(1, 8), st.integers(1, 8))
+    def test_share_reconstruct_identity(self, seed, m, n):
+        rng = np.random.default_rng(seed)
+        secret = rng.integers(0, MOD, size=(m, n), dtype=np.uint64)
+        pair = share_secret(secret, rng)
+        assert np.array_equal(reconstruct(pair.share0, pair.share1), secret)
+
+    def test_shares_differ_from_secret(self, rng):
+        secret = rng.integers(0, MOD, size=(32, 32), dtype=np.uint64)
+        pair = share_secret(secret, rng)
+        assert not np.array_equal(pair.share0, secret)
+        assert not np.array_equal(pair.share1, secret)
+
+
+class TestSecurityInvariant:
+    def test_single_share_is_marginally_uniform(self, rng):
+        """Each share alone must look uniform regardless of the secret —
+        the 2PC security property.  We share a *constant* matrix and
+        check the share's bytes pass a coarse uniformity test."""
+        secret = np.zeros((200, 200), dtype=np.uint64)  # worst case: all equal
+        pair = share_secret(secret, rng)
+        for share in (pair.share0, pair.share1):
+            as_bytes = share.reshape(-1).view(np.uint8)
+            counts = np.bincount(as_bytes, minlength=256)
+            expected = as_bytes.size / 256
+            chi2 = float(((counts - expected) ** 2 / expected).sum())
+            # 255 dof; mean 255, sd ~22.6 — 400 is a > 6-sigma ceiling
+            assert chi2 < 400, f"share bytes not uniform (chi2={chi2:.1f})"
+
+    def test_shares_of_different_secrets_indistinguishable_in_mean(self, rng):
+        a = share_secret(np.zeros((64, 64), dtype=np.uint64), rng).share0
+        b = share_secret(np.full((64, 64), 2**63, dtype=np.uint64), rng).share0
+        # means of uniform u64 samples: both near 2^63 within a few sd
+        sd = MOD / np.sqrt(12 * a.size)
+        assert abs(float(a.mean()) - float(b.mean())) < 8 * sd
+
+
+class TestValidation:
+    def test_share_pair_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            SharePair(np.zeros((2, 2), dtype=np.uint64), np.zeros((3, 2), dtype=np.uint64))
+
+    def test_share_pair_dtype_check(self):
+        with pytest.raises(ProtocolError):
+            SharePair(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_indexing(self, rng):
+        secret = rng.integers(0, MOD, size=(3, 3), dtype=np.uint64)
+        pair = share_secret(secret, rng)
+        assert pair[0] is pair.share0
+        assert pair[1] is pair.share1
+        with pytest.raises(ProtocolError):
+            pair[2]
+
+    def test_reconstruct_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            reconstruct(np.zeros(3, dtype=np.uint64), np.zeros(4, dtype=np.uint64))

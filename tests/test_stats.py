@@ -1,0 +1,79 @@
+"""Secure statistics vs NumPy references."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import (
+    secure_covariance,
+    secure_mean,
+    secure_standardize,
+    secure_variance,
+)
+from repro.core.tensor import SharedTensor
+from repro.util.errors import ProtocolError, ShapeError
+
+
+def shared(ctx, arr):
+    return SharedTensor.from_plain(ctx, np.asarray(arr, dtype=np.float64))
+
+
+class TestMean:
+    def test_matches_numpy(self, ctx, rng):
+        x = rng.normal(size=(40, 6))
+        out = secure_mean(shared(ctx, x)).decode()
+        np.testing.assert_allclose(out, x.mean(axis=0, keepdims=True), atol=1e-3)
+
+    def test_rejects_non_2d(self, ctx, rng):
+        t = shared(ctx, rng.normal(size=(2, 3, 4)))
+        with pytest.raises(ShapeError):
+            secure_mean(t)
+
+
+class TestVariance:
+    def test_matches_numpy(self, ctx, rng):
+        x = rng.normal(size=(60, 5)) * 2 + 1
+        out = secure_variance(shared(ctx, x)).decode().ravel()
+        np.testing.assert_allclose(out, x.var(axis=0, ddof=1), rtol=0.05, atol=0.02)
+
+    def test_needs_two_samples(self, ctx, rng):
+        with pytest.raises(ProtocolError):
+            secure_variance(shared(ctx, rng.normal(size=(1, 4))))
+
+
+class TestCovariance:
+    def test_matches_numpy(self, ctx, rng):
+        x = rng.normal(size=(80, 4))
+        x[:, 1] += 0.8 * x[:, 0]  # plant correlation
+        out = secure_covariance(shared(ctx, x)).decode()
+        np.testing.assert_allclose(out, np.cov(x.T, ddof=1), atol=0.05)
+
+    def test_symmetric(self, ctx, rng):
+        x = rng.normal(size=(50, 3))
+        out = secure_covariance(shared(ctx, x)).decode()
+        np.testing.assert_allclose(out, out.T, atol=2e-3)
+
+    def test_diagonal_agrees_with_variance(self, ctx, rng):
+        x = rng.normal(size=(60, 4))
+        cov = secure_covariance(shared(ctx, x), label="c").decode()
+        var = secure_variance(shared(ctx, x), label="v").decode().ravel()
+        np.testing.assert_allclose(np.diag(cov), var, atol=0.02)
+
+
+class TestStandardize:
+    def test_output_standardised(self, ctx, rng):
+        x = rng.normal(size=(100, 5)) * np.array([1, 2, 4, 0.5, 3]) + 7
+        std_t, stds = secure_standardize(shared(ctx, x))
+        out = std_t.decode()
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=0.02)
+        np.testing.assert_allclose(out.std(axis=0, ddof=1), 1.0, rtol=0.08)
+
+    def test_public_stds_returned(self, ctx, rng):
+        x = rng.normal(size=(100, 3)) * 2
+        _, stds = secure_standardize(shared(ctx, x))
+        np.testing.assert_allclose(stds, x.std(axis=0, ddof=1), rtol=0.1)
+
+    def test_eps_floors_constant_columns(self, ctx):
+        x = np.ones((30, 2))
+        std_t, stds = secure_standardize(shared(ctx, x), eps=1e-2)
+        assert (stds >= 1e-2).all()
+        assert np.isfinite(std_t.decode()).all()

@@ -1,0 +1,59 @@
+"""Tensor-Core numeric emulation (paper Section 5.2, Fig. 9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simgpu.tensorcore import accuracy_report, quantize_fp16, tensor_core_gemm
+
+
+class TestQuantize:
+    def test_fp16_representable_values_unchanged(self):
+        x = np.array([1.0, -0.5, 2.0, 1024.0], dtype=np.float32)
+        assert np.array_equal(quantize_fp16(x), x)
+
+    def test_precision_loss_is_real(self):
+        x = np.array([1.0 + 2**-13], dtype=np.float32)  # below fp16 resolution at 1.0
+        assert quantize_fp16(x)[0] == 1.0
+
+    def test_large_values_saturate(self):
+        x = np.array([1e6], dtype=np.float32)
+        assert np.isinf(quantize_fp16(x)[0])  # fp16 max is 65504
+
+
+class TestGemm:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 16), st.integers(2, 16), st.integers(0, 1000))
+    def test_absolute_error_small_for_unit_scale_data(self, m, k, seed):
+        """FP16 inlet rounding keeps the absolute error at the rounding
+        scale (per-entry relative error can blow up at cancellation
+        points, so the robust claim is about absolute error)."""
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(m, k)).astype(np.float32)
+        b = rng.normal(size=(k, m)).astype(np.float32)
+        rep = accuracy_report(a, b)
+        assert rep.max_abs_error < 3e-3 * k  # ~2 ulps of fp16 per product term
+
+    def test_mean_relative_error_small_on_typical_gemm(self, rng):
+        a = rng.normal(size=(64, 64)).astype(np.float32)
+        b = rng.normal(size=(64, 64)).astype(np.float32)
+        # at k=64, outputs are O(sqrt(k)): cancellation is rare and the
+        # paper's "accuracy is not sacrificed" claim holds on average
+        assert accuracy_report(a, b).mean_rel_error < 5e-3
+
+    def test_acceptable_for_training_flag(self, rng):
+        a = rng.normal(size=(32, 32)).astype(np.float32)
+        rep = accuracy_report(a, a)
+        assert rep.acceptable_for_training
+
+    def test_error_grows_with_dynamic_range(self, rng):
+        a = rng.normal(size=(32, 32)).astype(np.float32)
+        mixed = a * np.logspace(-3, 3, 32, dtype=np.float32)
+        assert accuracy_report(mixed, a).max_rel_error >= accuracy_report(a, a).max_rel_error
+
+    def test_gemm_values_match_manual_emulation(self, rng):
+        a = rng.normal(size=(8, 8)).astype(np.float32)
+        b = rng.normal(size=(8, 8)).astype(np.float32)
+        manual = a.astype(np.float16).astype(np.float32) @ b.astype(np.float16).astype(np.float32)
+        assert np.array_equal(tensor_core_gemm(a, b), manual)

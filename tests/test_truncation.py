@@ -1,0 +1,66 @@
+"""The SecureML local-truncation protocol."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixedpoint.encoding import FixedPointEncoder
+from repro.fixedpoint.truncation import truncate_public, truncate_share
+from repro.mpc.shares import reconstruct, share_secret
+from repro.util.errors import ProtocolError
+
+MOD = 2**64
+
+
+class TestTruncatePublic:
+    @given(st.integers(-(2**40), 2**40), st.integers(1, 20))
+    def test_matches_arithmetic_shift(self, value, d):
+        embedded = np.uint64(value % MOD)
+        out = truncate_public(np.array([embedded]), d)
+        assert int(out[0].view(np.int64)) == value >> d
+
+    def test_preserves_sign(self):
+        neg = np.array([np.uint64(-8192 % MOD)])
+        out = truncate_public(neg, 13)
+        assert int(out[0].view(np.int64)) == -1
+
+
+class TestTruncateShare:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+        st.integers(0, 2**32),
+    )
+    def test_shared_truncation_within_one_ulp(self, value, seed):
+        """Core SecureML claim: local truncation errs by <= 1 ulp w.h.p."""
+        enc = FixedPointEncoder(13)
+        rng = np.random.default_rng(seed)
+        # a double-scale encoding, as produced by a share product
+        double = np.uint64((int(enc.encode(np.float64(value))) * enc.scale) % MOD)
+        pair = share_secret(np.array([double]), rng)
+        t0 = truncate_share(pair.share0, 13, 0)
+        t1 = truncate_share(pair.share1, 13, 1)
+        decoded = float(enc.decode(reconstruct(t0, t1))[0])
+        assert abs(decoded - value) <= 2 * enc.resolution
+
+    def test_matrix_truncation(self, rng, encoder):
+        a = rng.normal(size=(20, 20))
+        double = (encoder.encode(a).view(np.int64) * encoder.scale).view(np.uint64)
+        pair = share_secret(double, rng)
+        decoded = encoder.decode(
+            reconstruct(
+                truncate_share(pair.share0, 13, 0), truncate_share(pair.share1, 13, 1)
+            )
+        )
+        np.testing.assert_allclose(decoded, a, atol=3 * encoder.resolution)
+
+    def test_bad_party_id_raises(self):
+        with pytest.raises(ProtocolError):
+            truncate_share(np.zeros(3, dtype=np.uint64), 13, 2)
+
+    def test_party_roles_differ(self, rng):
+        share = rng.integers(0, MOD, size=(5,), dtype=np.uint64)
+        t0 = truncate_share(share, 13, 0)
+        t1 = truncate_share(share, 13, 1)
+        assert not np.array_equal(t0, t1)
