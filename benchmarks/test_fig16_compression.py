@@ -29,7 +29,16 @@ from repro.core.training import SecureTrainer
 
 
 def _ctx():
-    return SecureContext(FrameworkConfig.parsecureml(activation_protocol="emulated"))
+    return SecureContext.create(FrameworkConfig.parsecureml(activation_protocol="emulated"))
+
+
+def _comm_bytes(ctx):
+    """(raw, wire) inter-server bytes from the run's telemetry snapshot."""
+    snap = ctx.telemetry.snapshot()
+    return (
+        int(snap.counter("comm.compression.raw_bytes")),
+        int(snap.counter("comm.compression.wire_bytes")),
+    )
 
 
 def run_inference_case(name, model_fn, features, batches=6):
@@ -38,8 +47,7 @@ def run_inference_case(name, model_fn, features, batches=6):
     model = model_fn(ctx, features)
     x = rng.normal(size=(batches * 128, features)) * 0.5
     secure_predict(ctx, model, x, batch_size=128)
-    stats = ctx.compression_stats
-    return name, stats.raw_bytes, stats.wire_bytes
+    return (name, *_comm_bytes(ctx))
 
 
 def run_frozen_training_case():
@@ -54,8 +62,7 @@ def run_frozen_training_case():
     SecureTrainer(ctx, model, lr=0.03125, monitor_loss=False).train(
         x, y, epochs=2, batch_size=128
     )
-    stats = ctx.compression_stats
-    return "MLP frozen-layer fine-tune", stats.raw_bytes, stats.wire_bytes
+    return ("MLP frozen-layer fine-tune", *_comm_bytes(ctx))
 
 
 def run_active_training_case():
@@ -67,8 +74,7 @@ def run_active_training_case():
     SecureTrainer(ctx, model, lr=0.03125, monitor_loss=False).train(
         x, y, epochs=2, batch_size=128
     )
-    stats = ctx.compression_stats
-    return "MLP active training", stats.raw_bytes, stats.wire_bytes
+    return ("MLP active training", *_comm_bytes(ctx))
 
 
 def build_cases():

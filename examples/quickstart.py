@@ -1,47 +1,42 @@
 """Quickstart: secure two-party computation in a few lines.
 
-Walks the core API end to end:
+Walks the public API end to end:
 
-1. build a :class:`SecureContext` (client + two simulated GPU servers);
+1. start a session with :func:`repro.api.session` (client + two
+   simulated GPU servers, fully wired with telemetry);
 2. secret-share two matrices;
 3. multiply them with the Beaver-triplet protocol (offline triplet,
    online masked exchange + GPU operation);
-4. train a small secure logistic regression and read the phase report.
+4. train a small secure logistic regression and read the telemetry
+   report.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.core import (
-    FrameworkConfig,
-    SecureContext,
-    SecureLogisticRegression,
-    SecureTrainer,
-    SharedTensor,
-    ops,
-)
+import repro
 
 
 def main() -> None:
     rng = np.random.default_rng(0)
 
     # 1. A fully-optimised ParSecureML deployment (GPU, double pipeline,
-    #    compression, Tensor Cores). FrameworkConfig.secureml() would give
-    #    the CPU-only baseline instead.
-    ctx = SecureContext(FrameworkConfig.parsecureml())
+    #    compression, Tensor Cores). repro.FrameworkConfig.secureml()
+    #    would give the CPU-only baseline instead.
+    ctx = repro.api.session()
 
     # 2. The client encrypts its matrices: each server receives one
     #    additive share and learns nothing on its own.
     a = rng.normal(size=(64, 32))
     b = rng.normal(size=(32, 16))
-    a_shared = SharedTensor.from_plain(ctx, a, label="demo/A")
-    b_shared = SharedTensor.from_plain(ctx, b, label="demo/B")
+    a_shared = repro.SharedTensor.from_plain(ctx, a, label="demo/A")
+    b_shared = repro.SharedTensor.from_plain(ctx, b, label="demo/B")
 
     # 3. One secure matrix product. Under the hood: Beaver triplet from
     #    the offline phase, E/F masked exchange between the servers, the
     #    Eq. 8 GEMM on the simulated V100s, local truncation.
-    c_shared = ops.secure_matmul(a_shared, b_shared, label="demo/matmul")
+    c_shared = repro.secure_matmul(a_shared, b_shared, label="demo/matmul")
     err = np.abs(c_shared.decode() - a @ b).max()
     print(f"secure matmul max error vs plain: {err:.2e} "
           f"(fixed-point resolution is {ctx.encoder.resolution:.2e})")
@@ -51,15 +46,16 @@ def main() -> None:
     x = rng.normal(size=(512, 20))
     w_true = rng.normal(size=(20, 1))
     y = (x @ w_true > 0).astype(float)
-    model = SecureLogisticRegression(ctx, 20, n_out=1)
-    report = SecureTrainer(ctx, model, lr=0.5).train(x, y, epochs=5, batch_size=128)
+    model = repro.SecureLogisticRegression(ctx, 20, n_out=1)
+    report = repro.SecureTrainer(ctx, model, lr=0.5).train(x, y, epochs=5, batch_size=128)
 
     print(f"loss: {report.losses[0]:.4f} -> {report.losses[-1]:.4f} "
           f"over {report.batches} secure batches")
-    print(f"offline (client encrypt + triplets): {report.offline_s * 1e3:8.2f} ms simulated")
-    print(f"online  (two-server protocol):       {report.online_s * 1e3:8.2f} ms simulated")
-    print(f"online occupancy: {report.occupancy:.1%}   "
-          f"inter-server traffic: {report.server_bytes / 1e6:.1f} MB")
+
+    # 5. Everything the run cost — phases, traffic, kernels, op roll-ups
+    #    — is in the context's telemetry.
+    print()
+    print(ctx.telemetry.report(title="quickstart telemetry"))
 
 
 if __name__ == "__main__":

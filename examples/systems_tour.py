@@ -15,7 +15,8 @@ Run:  python examples/systems_tour.py
 
 import numpy as np
 
-from repro.core import FrameworkConfig, SecureContext, SecureMLP, SecureTrainer
+import repro
+from repro import FrameworkConfig, SecureMLP, SecureTrainer
 from repro.pipeline.timeline import render_gantt, summarize
 
 
@@ -23,7 +24,7 @@ def tour_adaptive_placement() -> None:
     print("=" * 72)
     print("1. Profiling-guided adaptive GPU utilisation (Section 4.2)")
     print("=" * 72)
-    ctx = SecureContext(FrameworkConfig.parsecureml())
+    ctx = repro.api.session()
     print(f"{'GEMM (m, k, n)':>24} | {'CPU est.':>10} | {'GPU est.':>10} | placement")
     for m, k, n in [(16, 16, 16), (128, 256, 64), (128, 4096, 128), (2048, 8192, 2048)]:
         d = ctx.profiler.place_gemm(m, k, n)
@@ -39,7 +40,7 @@ def _one_batch_timeline(double_pipeline: bool):
         activation_protocol="emulated",
         trace=True,
     )
-    ctx = SecureContext(cfg)
+    ctx = repro.api.session(cfg)
     rng = np.random.default_rng(0)
     x = rng.normal(size=(128, 512))
     y = rng.normal(size=(128, 10))
@@ -68,16 +69,17 @@ def tour_compression() -> None:
     print("=" * 72)
     print("3. Compressed transmission (Section 4.4): inference traffic")
     print("=" * 72)
-    from repro.core import secure_predict
-
     for comp in (False, True):
-        ctx = SecureContext(FrameworkConfig.parsecureml(compression=comp))
+        ctx = repro.api.session(compression=comp)
         rng = np.random.default_rng(0)
         model = SecureMLP(ctx, 256, hidden=(128, 64), n_out=10)
-        secure_predict(ctx, model, rng.normal(size=(512, 256)), batch_size=128)
+        repro.secure_predict(ctx, model, rng.normal(size=(512, 256)), batch_size=128)
+        snap = ctx.telemetry.snapshot()
+        wire = snap.counter("comm.bytes", channel=ctx.server_channel.label)
         print(f"compression {'ON ' if comp else 'OFF'}: "
-              f"{ctx.server_channel.total_bytes / 1e6:8.2f} MB between the servers")
+              f"{wire / 1e6:8.2f} MB between the servers")
     print()
+    print(ctx.telemetry.report(title="systems tour telemetry (last run)"))
 
 
 def main() -> None:

@@ -1,14 +1,77 @@
 """ParSecureML reproduction — parallel secure machine learning framework.
 
-The public API re-exports the pieces a downstream user needs:
+The top-level package is the public API.  Start a session, build a
+model, train, read the telemetry::
 
-* :class:`repro.core.context.SecureContext` — wires a client and two
-  servers with simulated GPUs and network channels;
-* :class:`repro.core.tensor.SharedTensor` — a secret-shared matrix;
-* the secure models in :mod:`repro.core.models`;
-* the baselines in :mod:`repro.baselines` for comparison runs.
+    import repro
 
+    ctx = repro.api.session()
+    model = repro.SecureMLP(ctx, n_features=784)
+    report = repro.SecureTrainer(ctx, model).train(x, y, max_batches=2)
+    print(ctx.telemetry.report())
+
+Re-exported here:
+
+* :func:`repro.api.session` / :class:`SecureContext` /
+  :class:`FrameworkConfig` — deployment wiring;
+* :class:`SharedTensor` — a secret-shared matrix;
+* the paper's six benchmark models plus :class:`SecureResNet`;
+* :func:`secure_matmul` and friends — the secure op primitives;
+* :class:`SecureTrainer` / :func:`secure_predict` — drivers;
+* :class:`Telemetry` — the observability surface every context owns.
+
+Deep imports (``repro.core.…``, ``repro.pipeline.trace_export``) keep
+working; the deprecated ones emit a single :class:`DeprecationWarning`.
 See README.md for a quickstart and DESIGN.md for the system inventory.
 """
 
-__version__ = "1.0.0"
+from repro import api
+from repro.core.config import FrameworkConfig
+from repro.core.context import SecureContext
+from repro.core.inference import InferenceReport, secure_predict
+from repro.core.models import (
+    SecureCNN,
+    SecureLinearRegression,
+    SecureLogisticRegression,
+    SecureMLP,
+    SecureRNN,
+    SecureSVM,
+)
+from repro.core.ops import (
+    activation,
+    secure_compare_const,
+    secure_elementwise_mul,
+    secure_matmul,
+    truncate,
+)
+from repro.core.resnet import SecureResNet
+from repro.core.tensor import SharedTensor
+from repro.core.training import SecureTrainer, TrainReport
+from repro.telemetry import Telemetry
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "api",
+    "FrameworkConfig",
+    "SecureContext",
+    "SharedTensor",
+    "Telemetry",
+    "SecureMLP",
+    "SecureCNN",
+    "SecureRNN",
+    "SecureLinearRegression",
+    "SecureLogisticRegression",
+    "SecureSVM",
+    "SecureResNet",
+    "secure_matmul",
+    "secure_elementwise_mul",
+    "secure_compare_const",
+    "activation",
+    "truncate",
+    "SecureTrainer",
+    "TrainReport",
+    "secure_predict",
+    "InferenceReport",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""The blessed entry point: ``repro.api.session``.
+
+One call wires the whole paper deployment — client, two servers,
+simulated GPUs, channels, compressors, telemetry — and hands back the
+:class:`~repro.core.context.SecureContext` everything else hangs off::
+
+    import repro
+
+    ctx = repro.api.session()                                  # ParSecureML defaults
+    ctx = repro.api.session(config=repro.FrameworkConfig.secureml())   # baseline
+    ctx = repro.api.session(trace=True, compression=False)     # keyword overrides
+
+    model = repro.SecureMLP(ctx, n_features=784)
+    report = repro.SecureTrainer(ctx, model).train(x, y, max_batches=2)
+    print(ctx.telemetry.report())
+
+Keyword overrides are applied with :meth:`FrameworkConfig.but`, so any
+field of :class:`~repro.core.config.FrameworkConfig` can be tweaked
+without building the config by hand.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FrameworkConfig
+from repro.core.context import SecureContext
+
+__all__ = ["session"]
+
+
+def session(config: FrameworkConfig | None = None, **overrides) -> SecureContext:
+    """Create a fully wired :class:`SecureContext`.
+
+    Parameters
+    ----------
+    config:
+        Base configuration; defaults to ``FrameworkConfig()`` (the
+        ParSecureML preset).
+    **overrides:
+        Field overrides applied on top of ``config`` via
+        :meth:`FrameworkConfig.but` (e.g. ``trace=True``,
+        ``compression=False``, ``seed=7``).
+    """
+    cfg = config or FrameworkConfig()
+    if overrides:
+        cfg = cfg.but(**overrides)
+    return SecureContext.create(cfg)

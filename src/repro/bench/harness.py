@@ -6,6 +6,12 @@ paper's sample counts — legitimate because the per-batch protocol work
 is identical across batches (same shapes, same ops) and the simulated
 clock is deterministic.  One-time setup (triplet-stream generation) is
 kept separate and added once.
+
+Every figure is read out of the context's telemetry snapshot (phase
+gauges, channel counters, compression counters, the
+``train.share_dataset`` / ``train.batch`` spans) rather than from ad-hoc
+driver bookkeeping, so the benchmarks exercise the same observability
+surface users see in ``ctx.telemetry.report()``.
 """
 
 from __future__ import annotations
@@ -82,6 +88,43 @@ class PlainRunResult:
         return self.per_batch_s * n
 
 
+def _secure_result_from_snapshot(
+    ctx: SecureContext,
+    spec: WorkloadSpec,
+    *,
+    batches: int,
+    samples: int,
+    span_prefix: str,
+    losses: list,
+) -> SecureRunResult:
+    """Assemble a :class:`SecureRunResult` from the run's telemetry.
+
+    The context is fresh per run, so the snapshot *is* the run: phase
+    gauges give the clock frontiers, ``<prefix>.share_dataset`` the
+    one-shot sharing cost, the ``<prefix>.batch`` span tail the marginal
+    online cost (first batch excluded — lazy placement decisions make it
+    atypical), and the comm counters the traffic.
+    """
+    snap = ctx.telemetry.snapshot()
+    sharing = sum(s.sim_duration for s in snap.spans(f"{span_prefix}.share_dataset"))
+    offline_total = snap.gauge("phase.sim_seconds", clock="offline")
+    batch_spans = snap.spans(f"{span_prefix}.batch")
+    tail = batch_spans[1:] or batch_spans
+    per_batch = sum(s.sim_duration for s in tail) / len(tail) if tail else 0.0
+    return SecureRunResult(
+        spec=spec,
+        measured_batches=batches,
+        measured_samples=samples,
+        sharing_offline_s=sharing,
+        setup_offline_s=max(0.0, offline_total - sharing),
+        per_batch_online_s=per_batch,
+        server_bytes=int(snap.counter("comm.bytes", channel=ctx.server_channel.label)),
+        raw_comm_bytes=int(snap.counter("comm.compression.raw_bytes")),
+        wire_comm_bytes=int(snap.counter("comm.compression.wire_bytes")),
+        losses=losses,
+    )
+
+
 def run_secure(
     model_name: str,
     dataset: str,
@@ -98,20 +141,16 @@ def run_secure(
         model_name, dataset, n_batches=n_batches, batch_size=batch_size, seed=seed,
         full_scale=full_scale,
     )
-    ctx = SecureContext(config)
+    ctx = SecureContext.create(config)
     model = build_secure_model(ctx, spec)
     trainer = SecureTrainer(ctx, model, lr=lr, monitor_loss=False)
     report = trainer.train(x, y, epochs=1, batch_size=batch_size)
-    return SecureRunResult(
-        spec=spec,
-        measured_batches=report.batches,
-        measured_samples=report.dataset_samples,
-        sharing_offline_s=report.sharing_offline_s,
-        setup_offline_s=report.setup_offline_s,
-        per_batch_online_s=report.marginal_online_s,
-        server_bytes=report.server_bytes,
-        raw_comm_bytes=report.raw_comm_bytes,
-        wire_comm_bytes=report.wire_comm_bytes,
+    return _secure_result_from_snapshot(
+        ctx,
+        spec,
+        batches=report.batches,
+        samples=report.dataset_samples,
+        span_prefix="train",
         losses=report.losses,
     )
 
@@ -158,19 +197,15 @@ def run_secure_inference(
     x, _y, spec = load_workload(
         model_name, dataset, n_batches=n_batches, batch_size=batch_size, seed=seed
     )
-    ctx = SecureContext(config)
+    ctx = SecureContext.create(config)
     model = build_secure_model(ctx, spec)
     rep = secure_predict(ctx, model, x, batch_size=batch_size, max_batches=n_batches)
-    return SecureRunResult(
-        spec=spec,
-        measured_batches=rep.batches,
-        measured_samples=rep.dataset_samples,
-        sharing_offline_s=rep.sharing_offline_s,
-        setup_offline_s=rep.setup_offline_s,
-        per_batch_online_s=rep.marginal_online_s,
-        server_bytes=rep.server_bytes,
-        raw_comm_bytes=0,
-        wire_comm_bytes=0,
+    return _secure_result_from_snapshot(
+        ctx,
+        spec,
+        batches=rep.batches,
+        samples=rep.dataset_samples,
+        span_prefix="infer",
         losses=[],
     )
 

@@ -7,8 +7,11 @@ endpoints.  Each direction is its own serial resource on the shared
 exactly the behaviour of the paper's InfiniBand fabric.
 
 Transfer time = per-message latency + bytes / bandwidth.  Every byte is
-also tallied in :attr:`bytes_sent`, which is what the compression
-experiment (Fig. 16) reads out.
+tallied in the telemetry registry under ``comm.bytes`` /
+``comm.messages`` / ``comm.link_busy_seconds`` (labelled by channel and
+direction); the historical :attr:`bytes_sent` / :attr:`messages_sent`
+dicts — what the compression experiment (Fig. 16) reads out — are kept
+as thin views over those series.
 """
 
 from __future__ import annotations
@@ -16,8 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.simgpu.clock import SimClock, Task
+from repro.telemetry.registry import MetricRegistry
 from repro.util.errors import TransportError
-from repro.util.validation import check_positive
 
 
 @dataclass(frozen=True)
@@ -39,21 +42,31 @@ ETHERNET_10G = LinkSpec(name="10GbE", bandwidth_gbps=1.1, latency_s=30e-6)
 
 
 class Channel:
-    """Full-duplex link between endpoints ``a`` and ``b``."""
+    """Full-duplex link between endpoints ``a`` and ``b``.
 
-    def __init__(self, clock: SimClock, spec: LinkSpec, a: str, b: str):
+    ``telemetry`` (a :class:`~repro.telemetry.Telemetry`) shares one
+    registry across the deployment; without it the channel keeps a
+    private registry so standalone use stays self-accounting.
+    """
+
+    def __init__(self, clock: SimClock, spec: LinkSpec, a: str, b: str, *, telemetry=None):
         self.clock = clock
         self.spec = spec
         self.a = a
         self.b = b
+        self.label = f"{a}<->{b}"
         self._dir = {
             (a, b): f"link.{a}->{b}",
             (b, a): f"link.{b}->{a}",
         }
         for res in self._dir.values():
             clock.add_resource(res)
-        self.bytes_sent: dict[tuple[str, str], int] = {(a, b): 0, (b, a): 0}
-        self.messages_sent: dict[tuple[str, str], int] = {(a, b): 0, (b, a): 0}
+        registry = telemetry.registry if telemetry is not None else MetricRegistry()
+        self._bytes = registry.counter("comm.bytes", "wire bytes per link direction")
+        self._messages = registry.counter("comm.messages", "messages per link direction")
+        self._busy = registry.counter(
+            "comm.link_busy_seconds", "per-direction link occupancy (busy seconds)"
+        )
 
     def send(self, src: str, dst: str, nbytes: int, deps=(), label: str = "msg") -> Task:
         """Charge one message of ``nbytes`` from ``src`` to ``dst``.
@@ -68,21 +81,40 @@ class Channel:
             )
         if nbytes < 0:
             raise TransportError(f"negative message size {nbytes}")
-        self.bytes_sent[key] += int(nbytes)
-        self.messages_sent[key] += 1
-        return self.clock.run(
-            self._dir[key], self.spec.transfer_seconds(nbytes), deps=deps, label=label
-        )
+        seconds = self.spec.transfer_seconds(nbytes)
+        self._bytes.inc(int(nbytes), channel=self.label, src=src, dst=dst)
+        self._messages.inc(1, channel=self.label, src=src, dst=dst)
+        self._busy.inc(seconds, channel=self.label, src=src, dst=dst)
+        return self.clock.run(self._dir[key], seconds, deps=deps, label=label)
+
+    # -- thin views over the registry (historical counter surface) -------------
+
+    def _view(self, counter) -> dict[tuple[str, str], int]:
+        return {
+            key: int(counter.value(channel=self.label, src=key[0], dst=key[1]))
+            for key in self._dir
+        }
+
+    @property
+    def bytes_sent(self) -> dict[tuple[str, str], int]:
+        return self._view(self._bytes)
+
+    @property
+    def messages_sent(self) -> dict[tuple[str, str], int]:
+        return self._view(self._messages)
+
+    def busy_seconds(self, src: str, dst: str) -> float:
+        """Accumulated occupancy of one direction of the link."""
+        return self._busy.value(channel=self.label, src=src, dst=dst)
 
     @property
     def total_bytes(self) -> int:
-        return sum(self.bytes_sent.values())
+        return int(self._bytes.value(channel=self.label))
 
     @property
     def total_messages(self) -> int:
-        return sum(self.messages_sent.values())
+        return int(self._messages.value(channel=self.label))
 
     def reset_counters(self) -> None:
-        for key in self.bytes_sent:
-            self.bytes_sent[key] = 0
-            self.messages_sent[key] = 0
+        for counter in (self._bytes, self._messages, self._busy):
+            counter.reset(channel=self.label)

@@ -27,6 +27,7 @@ from typing import Literal
 import numpy as np
 
 from repro.comm.csr import CSRMatrix, csr_decode, csr_encode, csr_nbytes, dense_nbytes
+from repro.telemetry.registry import MetricRegistry
 from repro.util.errors import ProtocolError
 from repro.util.validation import check_probability
 
@@ -84,15 +85,46 @@ class DeltaCompressor:
 
     One instance per *direction* per server pair; ``key`` identifies the
     logical stream (e.g. ``"layer2/F"``) whose history makes deltas
-    meaningful.
+    meaningful.  With a ``telemetry`` the counters land in the shared
+    registry under ``comm.compression.*{direction}``; :attr:`stats`
+    remains the historical read-out as a view over those series.
     """
 
-    def __init__(self, sparsity_threshold: float = 0.75, *, enabled: bool = True):
+    def __init__(
+        self,
+        sparsity_threshold: float = 0.75,
+        *,
+        enabled: bool = True,
+        telemetry=None,
+        direction: str = "default",
+    ):
         self.sparsity_threshold = check_probability(sparsity_threshold, "sparsity_threshold")
         self.enabled = bool(enabled)
+        self.direction = direction
         self._sent_history: dict[str, np.ndarray] = {}
         self._recv_history: dict[str, np.ndarray] = {}
-        self.stats = CompressionStats()
+        registry = telemetry.registry if telemetry is not None else MetricRegistry()
+        self._raw = registry.counter(
+            "comm.compression.raw_bytes", "bytes an uncompressed transmission would cost"
+        )
+        self._wire = registry.counter("comm.compression.wire_bytes", "bytes actually sent")
+        self._dense = registry.counter(
+            "comm.compression.dense_messages", "messages sent dense"
+        )
+        self._compressed = registry.counter(
+            "comm.compression.compressed_messages", "messages sent as CSR deltas"
+        )
+
+    @property
+    def stats(self) -> CompressionStats:
+        """This direction's accounting as the historical dataclass."""
+        d = self.direction
+        return CompressionStats(
+            raw_bytes=int(self._raw.value(direction=d)),
+            wire_bytes=int(self._wire.value(direction=d)),
+            dense_messages=int(self._dense.value(direction=d)),
+            compressed_messages=int(self._compressed.value(direction=d)),
+        )
 
     # -- sender ---------------------------------------------------------------
 
@@ -115,12 +147,12 @@ class DeltaCompressor:
         else:
             payload = CompressedPayload(kind="dense", key=key, dense=matrix)
         self._sent_history[key] = matrix
-        self.stats.raw_bytes += payload.raw_bytes
-        self.stats.wire_bytes += payload.wire_bytes
+        self._raw.inc(payload.raw_bytes, direction=self.direction)
+        self._wire.inc(payload.wire_bytes, direction=self.direction)
         if payload.kind == "dense":
-            self.stats.dense_messages += 1
+            self._dense.inc(1, direction=self.direction)
         else:
-            self.stats.compressed_messages += 1
+            self._compressed.inc(1, direction=self.direction)
         return payload
 
     # -- receiver -------------------------------------------------------------

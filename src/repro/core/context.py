@@ -36,6 +36,7 @@ from repro.mpc.triplets import ElementwiseTriplet, MatrixTriplet
 from repro.pipeline.profiler import StepProfiler
 from repro.simgpu.clock import SimClock
 from repro.simgpu.device import SimCPU, SimGPU
+from repro.telemetry import Telemetry
 from repro.util.seeding import SeedSequenceFactory
 
 
@@ -78,15 +79,25 @@ class SecureContext:
         self.seeds = SeedSequenceFactory(cfg.seed)
         self.rng = self.seeds.generator("context")
 
+        # One telemetry surface for the whole deployment: every channel,
+        # device and compressor below records into this registry, and
+        # ``ctx.telemetry.snapshot()`` / ``report()`` read it back out.
+        self.telemetry = Telemetry()
+
         # --- offline side (client) -------------------------------------------
         self.offline_clock = SimClock()
         self.offline_clock.set_tracing(cfg.trace)
+        self.telemetry.register_clock("offline", self.offline_clock)
         # The client's encrypt path uses the Section 5.1 parallel MT19937
         # design when client_parallel is on (the default in both presets
         # — shared infrastructure); the cpu_parallel switch governs the
         # servers (see FrameworkConfig docs and the Fig. 14 ablation).
         self.client_cpu = SimCPU(
-            self.offline_clock, cfg.cpu_spec, "client", parallel_enabled=cfg.client_parallel
+            self.offline_clock,
+            cfg.cpu_spec,
+            "client",
+            parallel_enabled=cfg.client_parallel,
+            telemetry=self.telemetry,
         )
         self.client_gpu = (
             SimGPU(
@@ -95,18 +106,30 @@ class SecureContext:
                 "clientgpu",
                 n_streams=1,
                 tensor_core=cfg.tensor_core,
+                telemetry=self.telemetry,
             )
             if cfg.use_gpu
             else None
         )
-        self.uplink0 = Channel(self.offline_clock, cfg.uplink, "client", "server0")
-        self.uplink1 = Channel(self.offline_clock, cfg.uplink, "client", "server1")
+        self.uplink0 = Channel(
+            self.offline_clock, cfg.uplink, "client", "server0", telemetry=self.telemetry
+        )
+        self.uplink1 = Channel(
+            self.offline_clock, cfg.uplink, "client", "server1", telemetry=self.telemetry
+        )
 
         # --- online side (servers) --------------------------------------------
         self.online_clock = SimClock()
         self.online_clock.set_tracing(cfg.trace)
+        self.telemetry.register_clock("online", self.online_clock)
         self.server_cpu = [
-            SimCPU(self.online_clock, cfg.cpu_spec, f"s{i}", parallel_enabled=cfg.cpu_parallel)
+            SimCPU(
+                self.online_clock,
+                cfg.cpu_spec,
+                f"s{i}",
+                parallel_enabled=cfg.cpu_parallel,
+                telemetry=self.telemetry,
+            )
             for i in (0, 1)
         ]
         # Pipeline 2 (Fig. 6): with the double pipeline on, each server
@@ -120,6 +143,7 @@ class SecureContext:
                     cfg.cpu_spec,
                     f"s{i}rec",
                     parallel_enabled=cfg.cpu_parallel,
+                    telemetry=self.telemetry,
                 )
                 for i in (0, 1)
             ]
@@ -132,15 +156,28 @@ class SecureContext:
                 f"s{i}gpu",
                 n_streams=cfg.n_streams,
                 tensor_core=cfg.tensor_core,
+                telemetry=self.telemetry,
             )
             if cfg.use_gpu
             else None
             for i in (0, 1)
         ]
-        self.server_channel = Channel(self.online_clock, cfg.server_link, "server0", "server1")
+        self.server_channel = Channel(
+            self.online_clock, cfg.server_link, "server0", "server1", telemetry=self.telemetry
+        )
         self.compressors = {
-            (0, 1): DeltaCompressor(cfg.compression_threshold, enabled=cfg.compression),
-            (1, 0): DeltaCompressor(cfg.compression_threshold, enabled=cfg.compression),
+            (0, 1): DeltaCompressor(
+                cfg.compression_threshold,
+                enabled=cfg.compression,
+                telemetry=self.telemetry,
+                direction="s0->s1",
+            ),
+            (1, 0): DeltaCompressor(
+                cfg.compression_threshold,
+                enabled=cfg.compression,
+                telemetry=self.telemetry,
+                direction="s1->s0",
+            ),
         }
 
         # --- placement & offline material --------------------------------------
@@ -159,9 +196,31 @@ class SecureContext:
         self._matrix_triplets: dict[str, MatrixTriplet] = {}
         self._elementwise_triplets: dict[str, ElementwiseTriplet] = {}
 
-        # counters
-        self.triplets_issued = 0
-        self.comparisons_issued = 0
+        # offline-material accounting
+        self._triplets_generated = self.telemetry.counter(
+            "mpc.triplets_generated", "Beaver triplets produced offline, by kind and shape"
+        )
+        self._triplets_consumed = self.telemetry.counter(
+            "mpc.triplets_consumed", "op-stream fetches of offline material"
+        )
+        self._comparisons = self.telemetry.counter(
+            "mpc.comparisons_issued", "comparison bundles generated offline"
+        )
+
+    @classmethod
+    def create(cls, config: FrameworkConfig | None = None) -> "SecureContext":
+        """The blessed builder (what :func:`repro.api.session` returns)."""
+        return cls(config=config)
+
+    # -- thin views over the registry (historical counter surface) -------------
+
+    @property
+    def triplets_issued(self) -> int:
+        return int(self._triplets_generated.value())
+
+    @property
+    def comparisons_issued(self) -> int:
+        return int(self._comparisons.value())
 
     # ------------------------------------------------------------------ phases
 
@@ -284,7 +343,9 @@ class SecureContext:
             shape_b=tuple(shape_b),
         )
         self._upload(u.nbytes + v.nbytes + z.nbytes, "triplet:upload")
-        self.triplets_issued += 1
+        self._triplets_generated.inc(
+            1, kind="matrix", shape=f"{tuple(shape_a)}x{tuple(shape_b)}"
+        )
         return triplet
 
     def gen_elementwise_triplet(self, shape) -> ElementwiseTriplet:
@@ -301,7 +362,7 @@ class SecureContext:
             shape=tuple(shape),
         )
         self._upload(3 * u.nbytes, "etriplet:upload")
-        self.triplets_issued += 1
+        self._triplets_generated.inc(1, kind="elementwise", shape=str(tuple(shape)))
         return triplet
 
     def get_matrix_triplet(self, label: str, shape_a, shape_b) -> MatrixTriplet:
@@ -312,6 +373,9 @@ class SecureContext:
         depends on.  Shape changes (e.g. a ragged last batch) invalidate
         the cache entry.
         """
+        self._triplets_consumed.inc(
+            1, kind="matrix", shape=f"{tuple(shape_a)}x{tuple(shape_b)}"
+        )
         if self.config.fresh_triplets:
             return self.gen_matrix_triplet(shape_a, shape_b)
         cached = self._matrix_triplets.get(label)
@@ -326,6 +390,7 @@ class SecureContext:
 
     def get_elementwise_triplet(self, label: str, shape) -> ElementwiseTriplet:
         """Elementwise-triplet analogue of :meth:`get_matrix_triplet`."""
+        self._triplets_consumed.inc(1, kind="elementwise", shape=str(tuple(shape)))
         if self.config.fresh_triplets:
             return self.gen_elementwise_triplet(shape)
         cached = self._elementwise_triplets.get(label)
@@ -346,7 +411,7 @@ class SecureContext:
         material_bytes = n * 8 + n * 8 + 3 * 63 * n // 8 + n // 8 + n * 8
         self._charge_client_rng(material_bytes, "compare:rng")
         self._upload(material_bytes, "compare:upload")
-        self.comparisons_issued += 1
+        self._comparisons.inc(1)
         if self.config.activation_protocol == "dealer":
             return self.comparison_dealer.bundle(tuple(shape))
         return None

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.tensor import SharedTensor
+from repro.telemetry import maybe_span
 from repro.util.errors import ConfigError
 
 
@@ -61,8 +62,10 @@ def secure_predict(
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 2:
         raise ConfigError(f"secure_predict expects 2-D input, got shape {x.shape}")
+    telemetry = getattr(ctx, "telemetry", None)
     start = ctx.mark()
-    xs = SharedTensor.from_plain(ctx, x, label="infer/x")
+    with maybe_span(telemetry, "infer.share_dataset", clock="offline"):
+        xs = SharedTensor.from_plain(ctx, x, label="infer/x")
     sharing_offline = ctx.since(start).offline_s
     outputs = []
     batch_online = []
@@ -70,7 +73,8 @@ def secure_predict(
     samples = 0
     for lo in range(0, x.shape[0] - batch_size + 1, batch_size):
         bmark = ctx.mark()
-        pred = model.forward(xs.row_slice(lo, lo + batch_size), training=False)
+        with maybe_span(telemetry, "infer.batch", clock="online", batch=str(batches)):
+            pred = model.forward(xs.row_slice(lo, lo + batch_size), training=False)
         outputs.append(pred.decode())
         batch_online.append(ctx.since(bmark).online_s)
         batches += 1

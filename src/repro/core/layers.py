@@ -100,7 +100,7 @@ class SecureActivation(SecureLayer):
         self._mask: SharedTensor | None = None
 
     def forward(self, x: SharedTensor, *, training: bool = True) -> SharedTensor:
-        out, mask = ops.activation(x, self.kind, label=self.name)
+        out, mask = ops.activation(x, kind=self.kind, label=self.name)
         if training:
             self._mask = mask
         return out
@@ -309,7 +309,7 @@ class SecureRNNCell(SecureLayer):
             + ops.secure_matmul(h, self.w_h, label=f"{self.name}/h@Wh[t{t}]")
             + self.bias.broadcast_rows(x_t.shape[0])
         )
-        out, mask = ops.activation(pre, "relu", label=f"{self.name}/act[t{t}]")
+        out, mask = ops.activation(pre, kind="relu", label=f"{self.name}/act[t{t}]")
         if training:
             self._tape.append({"x": x_t, "h_prev": h, "mask": mask})
         return out

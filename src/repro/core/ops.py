@@ -22,6 +22,7 @@ context serialises every op behind the previous one instead.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -32,6 +33,7 @@ from repro.mpc.comparison import emulated_ge_const, secure_ge_const
 from repro.mpc.protocol import beaver_elementwise_share
 from repro.pipeline.scheduler import schedule_secure_gemm
 from repro.simgpu.clock import Task
+from repro.util.deprecation import warn_deprecated
 from repro.util.errors import ProtocolError, ShapeError
 
 __all__ = [
@@ -45,6 +47,27 @@ __all__ = [
 
 def _deps(*tasks) -> tuple[Task, ...]:
     return tuple(t for t in tasks if t is not None)
+
+
+@contextmanager
+def _op_scope(ctx, op: str, label: str):
+    """Span + per-op roll-up counters around one secure-op invocation.
+
+    ``ops.online_seconds{op}`` attributes the op's *online makespan
+    delta* — how far it pushed the online clock — so nested ops (an
+    activation's compare + mul) each carry their own share.
+    """
+    telemetry = getattr(ctx, "telemetry", None)
+    if telemetry is None:
+        yield
+        return
+    start = ctx.online_clock.now()
+    with telemetry.span(f"op.{label}", clock="online", op=op):
+        yield
+    telemetry.counter("ops.invocations", "secure-op call counts").inc(1, op=op)
+    telemetry.counter("ops.online_seconds", "online makespan attributed per op").inc(
+        ctx.online_clock.now() - start, op=op
+    )
 
 
 def _chain(ctx, deps: tuple[Task, ...]) -> tuple[Task, ...]:
@@ -113,15 +136,16 @@ def truncate(x: SharedTensor, *, label: str = "trunc") -> SharedTensor:
     frac = ctx.encoder.frac_bits
     shares = []
     tasks = []
-    for i in (0, 1):
-        result, task = ctx.server_cpu[i].elementwise(
-            lambda s, i=i: truncate_share(s, frac, i),
-            [x.shares[i]],
-            deps=_deps(x.tasks[i]),
-            label=label,
-        )
-        shares.append(result)
-        tasks.append(task)
+    with _op_scope(ctx, "truncate", label):
+        for i in (0, 1):
+            result, task = ctx.server_cpu[i].elementwise(
+                lambda s, i=i: truncate_share(s, frac, i),
+                [x.shares[i]],
+                deps=_deps(x.tasks[i]),
+                label=label,
+            )
+            shares.append(result)
+            tasks.append(task)
     return SharedTensor(ctx=ctx, shares=tuple(shares), kind="fixed", tasks=tuple(tasks))
 
 
@@ -140,6 +164,15 @@ def secure_matmul(
     n = y.shape[1]
     both_fixed = x.kind == "fixed" and y.kind == "fixed"
 
+    with _op_scope(ctx, "matmul", label):
+        return _secure_matmul_body(
+            ctx, x, y, m, k, n, both_fixed, label=label, truncate_result=truncate_result
+        )
+
+
+def _secure_matmul_body(
+    ctx, x, y, m, k, n, both_fixed, *, label: str, truncate_result: bool
+) -> SharedTensor:
     # --- offline ---------------------------------------------------------------
     triplet = ctx.get_matrix_triplet(label, x.shape, y.shape)
 
@@ -210,6 +243,11 @@ def secure_elementwise_mul(
     ctx = x.ctx
     if x.shape != y.shape:
         raise ShapeError(f"elementwise shapes differ: {x.shape} vs {y.shape}")
+    with _op_scope(ctx, "elementwise_mul", label):
+        return _secure_elementwise_mul_body(ctx, x, y, label=label)
+
+
+def _secure_elementwise_mul_body(ctx, x, y, *, label: str) -> SharedTensor:
     triplet = ctx.get_elementwise_triplet(label, x.shape)
 
     e_locals, e_tasks_local = [], []
@@ -295,6 +333,11 @@ def secure_compare_const(
     ctx = x.ctx
     if x.kind != "fixed":
         raise ProtocolError("secure_compare_const expects a fixed-point tensor")
+    with _op_scope(ctx, "compare_const", label):
+        return _secure_compare_const_body(ctx, x, threshold, label=label)
+
+
+def _secure_compare_const_body(ctx, x, threshold, *, label: str) -> SharedTensor:
     c_enc = int(ctx.encoder.encode(np.float64(threshold)))
     bundle = ctx.gen_comparison_bundle(x.shape)
     if bundle is not None:
@@ -336,8 +379,11 @@ def secure_compare_const(
     )
 
 
+_KIND_UNSET = object()
+
+
 def activation(
-    x: SharedTensor, kind: str = "relu", *, label: str = "act"
+    x: SharedTensor, *args, kind=_KIND_UNSET, label: str = "act"
 ) -> tuple[SharedTensor, SharedTensor]:
     """Secure activation; returns (output, derivative-mask).
 
@@ -346,7 +392,27 @@ def activation(
     * ``piecewise`` — the paper's Eq. 9 (a hard sigmoid): 0 below -1/2,
       ``x + 1/2`` inside, 1 above 1/2; used where an upper-bounded
       activation is required (logistic regression).
+
+    ``kind`` is keyword-only in the blessed form; passing it positionally
+    still works but emits a :class:`DeprecationWarning`.
     """
+    if args:
+        if len(args) > 1 or kind is not _KIND_UNSET:
+            raise TypeError("activation() takes one tensor plus keyword arguments")
+        warn_deprecated(
+            "ops.activation.positional-kind",
+            "passing 'kind' positionally to repro.core.ops.activation is deprecated; "
+            "use activation(x, kind=..., label=...)",
+        )
+        kind = args[0]
+    elif kind is _KIND_UNSET:
+        kind = "relu"
+    ctx = x.ctx
+    with _op_scope(ctx, "activation", label):
+        return _activation_body(x, kind, label=label)
+
+
+def _activation_body(x, kind, *, label: str):
     if kind == "relu":
         mask = secure_compare_const(x, 0.0, label=f"{label}:ge0")
         out = secure_elementwise_mul(x, mask, label=f"{label}:mul")

@@ -68,11 +68,11 @@ class SecureResidualBlock(SecureLayer):
                 f"{self.name}: input {x.shape} does not match {self.in_shape}"
             )
         h1 = self.conv1.forward(x, training=training)
-        a1, mask1 = ops.activation(h1, "relu", label=f"{self.name}/relu1")
+        a1, mask1 = ops.activation(h1, kind="relu", label=f"{self.name}/relu1")
         h2 = self.conv2.forward(a1, training=training)
         skip = self._crop_skip(x, n)
         summed = h2 + skip  # the residual add: local, no triplet
-        out, mask2 = ops.activation(summed, "relu", label=f"{self.name}/relu2")
+        out, mask2 = ops.activation(summed, kind="relu", label=f"{self.name}/relu2")
         if training:
             self._mask1, self._mask2 = mask1, mask2
             self._batch = n

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.tensor import SharedTensor
+from repro.telemetry import maybe_span
 from repro.util.errors import ConfigError
 
 
@@ -106,12 +107,14 @@ class SecureTrainer:
                 f"need at least one full batch: {x.shape[0]} samples < batch {batch_size}"
             )
         report = TrainReport(dataset_samples=x.shape[0])
+        telemetry = getattr(self.ctx, "telemetry", None)
         start_mark = self.ctx.mark()
         comp_start = self.ctx.compression_stats
 
         # ---- offline: encrypt + upload the dataset once ----------------------
-        xs = SharedTensor.from_plain(self.ctx, x, label="dataset/x")
-        ys = SharedTensor.from_plain(self.ctx, y, label="dataset/y")
+        with maybe_span(telemetry, "train.share_dataset", clock="offline"):
+            xs = SharedTensor.from_plain(self.ctx, x, label="dataset/x")
+            ys = SharedTensor.from_plain(self.ctx, y, label="dataset/y")
         report.sharing_offline_s = self.ctx.since(start_mark).offline_s
 
         # ---- online: iterate batches over the shares -------------------------
@@ -121,9 +124,12 @@ class SecureTrainer:
                 break
             for lo in range(0, x.shape[0] - batch_size + 1, batch_size):
                 batch_mark = self.ctx.mark()
-                xb = xs.row_slice(lo, lo + batch_size)
-                yb = ys.row_slice(lo, lo + batch_size)
-                pred = self.model.train_batch(xb, yb, self.lr)
+                with maybe_span(
+                    telemetry, "train.batch", clock="online", batch=str(report.batches)
+                ):
+                    xb = xs.row_slice(lo, lo + batch_size)
+                    yb = ys.row_slice(lo, lo + batch_size)
+                    pred = self.model.train_batch(xb, yb, self.lr)
                 report.batch_online_s.append(self.ctx.since(batch_mark).online_s)
                 report.batches += 1
                 report.samples += batch_size

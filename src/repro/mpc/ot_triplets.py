@@ -40,6 +40,7 @@ from repro.fixedpoint.ring import RING_DTYPE, ring_add, ring_mul, ring_neg, ring
 from repro.gc.ot import ObliviousTransferReceiver, ObliviousTransferSender
 from repro.mpc.triplets import ElementwiseTriplet
 from repro.mpc.shares import SharePair
+from repro.telemetry.registry import MetricRegistry
 from repro.util.errors import ProtocolError
 
 _BITS = 64
@@ -90,9 +91,23 @@ class OTTripletGenerator:
     (and ParSecureML's GPU offline) solve.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, *, telemetry=None):
         self._rng = np.random.default_rng(seed)
-        self.stats = OTTripletStats(elements=0, ot_instances=0, bytes_exchanged=0)
+        registry = telemetry.registry if telemetry is not None else MetricRegistry()
+        self._elements = registry.counter(
+            "mpc.ot.elements", "triplet elements generated via OT"
+        )
+        self._instances = registry.counter("mpc.ot.instances", "1-of-2 OT executions")
+        self._bytes = registry.counter("mpc.ot.bytes_exchanged", "OT wire bytes")
+
+    @property
+    def stats(self) -> OTTripletStats:
+        """Accounting as the historical dataclass (view over the registry)."""
+        return OTTripletStats(
+            elements=int(self._elements.value()),
+            ot_instances=int(self._instances.value()),
+            bytes_exchanged=int(self._bytes.value()),
+        )
 
     def elementwise_triplet(self, shape: tuple[int, ...]) -> ElementwiseTriplet:
         rng = self._rng
@@ -121,9 +136,9 @@ class OTTripletGenerator:
         w0 = ring_add(w0, cross0.reshape(shape))
         w1 = ring_add(w1, cross1.reshape(shape))
 
-        self.stats.elements += flat_shape
-        self.stats.ot_instances += 2 * _BITS * flat_shape
-        self.stats.bytes_exchanged += 2 * _BITS * flat_shape * _OT_BYTES
+        self._elements.inc(flat_shape)
+        self._instances.inc(2 * _BITS * flat_shape)
+        self._bytes.inc(2 * _BITS * flat_shape * _OT_BYTES)
         return ElementwiseTriplet(
             u=SharePair(u0, u1), v=SharePair(v0, v1), z=SharePair(w0, w1), shape=tuple(shape)
         )

@@ -126,14 +126,27 @@ def beaver_elementwise_share(
 
 
 def secure_matmul_plain(
-    a_pair, b_pair, triplet, *, matmul: Callable = ring_matmul, use_fused_form: bool = True
+    a_pair,
+    b_pair,
+    triplet,
+    *,
+    label: str = "matmul",
+    matmul: Callable = ring_matmul,
+    use_fused_form: bool = True,
 ):
     """Run the whole two-server matmul protocol in-process (no transport).
 
     A reference driver used by tests and examples: takes the client's
     share pairs of ``A`` and ``B`` plus a dealer triplet, simulates both
     servers' local steps and the exchange, and returns ``(C_0, C_1)``.
+    ``label`` names the op stream in diagnostics, matching the keyword
+    every :mod:`repro.core.ops` entry point takes.
     """
+    if triplet.shape_a != a_pair[0].shape or triplet.shape_b != b_pair[0].shape:
+        raise ProtocolError(
+            f"{label}: triplet shaped {triplet.shape_a}x{triplet.shape_b} does not match "
+            f"operands {a_pair[0].shape}x{b_pair[0].shape}"
+        )
     shares = []
     # Step 1-2: masked differences and exchange.
     e_parts = [masked_difference(a_pair[i], triplet.u[i]) for i in (0, 1)]

@@ -24,6 +24,7 @@ import numpy as np
 from repro.fixedpoint.ring import RING_DTYPE, ring_matmul, ring_mul
 from repro.mpc.prandom import ThreadSafeGeneratorPool, parallel_uniform_ring
 from repro.mpc.shares import SharePair, share_secret
+from repro.telemetry.registry import MetricRegistry
 from repro.util.errors import ProtocolError, ShapeError
 
 
@@ -89,6 +90,11 @@ class TripletDealer:
     matmul:
         The ring matmul used to form ``Z = U @ V``; inject the simulated
         GPU's GEMM here to reproduce the paper's offline acceleration.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` whose registry
+        receives ``mpc.triplets_generated{kind,shape,source="dealer"}``;
+        :attr:`triplets_issued` / :attr:`mask_bytes_generated` stay
+        available as thin views.
     """
 
     def __init__(
@@ -97,15 +103,29 @@ class TripletDealer:
         *,
         pool: ThreadSafeGeneratorPool | None = None,
         matmul: Callable[[np.ndarray, np.ndarray], np.ndarray] = ring_matmul,
+        telemetry=None,
     ):
         self._rng = rng
         self._pool = pool
         self._matmul = matmul
-        self.triplets_issued = 0
-        self.mask_bytes_generated = 0
+        registry = telemetry.registry if telemetry is not None else MetricRegistry()
+        self._generated = registry.counter(
+            "mpc.triplets_generated", "Beaver triplets produced offline, by kind and shape"
+        )
+        self._mask_bytes = registry.counter(
+            "mpc.mask_bytes_generated", "bytes of random mask material sampled"
+        )
+
+    @property
+    def triplets_issued(self) -> int:
+        return int(self._generated.value(source="dealer"))
+
+    @property
+    def mask_bytes_generated(self) -> int:
+        return int(self._mask_bytes.value(source="dealer"))
 
     def _uniform(self, shape: tuple[int, ...]) -> np.ndarray:
-        self.mask_bytes_generated += int(np.prod(shape)) * 8
+        self._mask_bytes.inc(int(np.prod(shape)) * 8, source="dealer")
         if self._pool is not None and len(shape) == 2:
             return parallel_uniform_ring(shape, self._pool)
         return self._rng.integers(0, 2**64, size=shape, dtype=np.uint64)
@@ -121,7 +141,9 @@ class TripletDealer:
         u = self._uniform(shape_a)
         v = self._uniform(shape_b)
         z = self._matmul(u, v)
-        self.triplets_issued += 1
+        self._generated.inc(
+            1, kind="matrix", shape=f"{tuple(shape_a)}x{tuple(shape_b)}", source="dealer"
+        )
         return MatrixTriplet(
             u=share_secret(u, self._rng),
             v=share_secret(v, self._rng),
@@ -135,7 +157,7 @@ class TripletDealer:
         u = self._uniform(tuple(shape))
         v = self._uniform(tuple(shape))
         z = ring_mul(u, v)
-        self.triplets_issued += 1
+        self._generated.inc(1, kind="elementwise", shape=str(tuple(shape)), source="dealer")
         return ElementwiseTriplet(
             u=share_secret(u, self._rng),
             v=share_secret(v, self._rng),

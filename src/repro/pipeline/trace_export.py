@@ -1,61 +1,44 @@
-"""Export simulated-clock traces to the Chrome tracing format.
+"""Deprecated shim — Chrome-trace export moved to :mod:`repro.telemetry.export`.
 
-``chrome://tracing`` / Perfetto read a simple JSON event list; exporting
-the :class:`~repro.simgpu.clock.SimClock` trace lets you inspect the
-double pipeline's overlap with real tooling instead of the ASCII Gantt.
+This module's two entry points now delegate to
+:func:`repro.telemetry.export.chrome_trace_events` /
+:func:`repro.telemetry.export.export_chrome_trace`, which accept either a
+bare :class:`~repro.simgpu.clock.SimClock` (the historical surface,
+byte-identical output) or a whole :class:`~repro.telemetry.Telemetry`
+(multi-clock export with span lanes).  Importing from here keeps working
+but emits a :class:`DeprecationWarning` once per entry point.
 
-Each resource becomes a "thread", each task a complete event (``ph:
-"X"``).  Times are exported in microseconds, as the format expects.
+Usage (new)::
 
-Usage::
-
-    from repro.pipeline.trace_export import export_chrome_trace
-    export_chrome_trace(ctx.online_clock, "online.trace.json")
-    # open chrome://tracing and load the file
+    from repro.telemetry import export_chrome_trace
+    export_chrome_trace(ctx.online_clock, "online.trace.json")   # one clock
+    export_chrome_trace(ctx.telemetry, "full.trace.json")        # everything
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 from repro.simgpu.clock import SimClock
+from repro.telemetry import export as _export
+from repro.util.deprecation import warn_deprecated
 
 __all__ = ["chrome_trace_events", "export_chrome_trace"]
+
+_MOVED = "moved to repro.telemetry.export; import from repro.telemetry instead"
 
 
 def chrome_trace_events(
     clock: SimClock, *, process_name: str = "repro", min_duration_s: float = 0.0
 ) -> list[dict]:
     """The clock's trace as Chrome-tracing event dicts."""
-    resources = {name: idx for idx, name in enumerate(clock.resources())}
-    events: list[dict] = [
-        {
-            "name": "process_name",
-            "ph": "M",
-            "pid": 0,
-            "tid": 0,
-            "args": {"name": process_name},
-        }
-    ]
-    for name, tid in resources.items():
-        events.append(
-            {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid, "args": {"name": name}}
-        )
-    for task in clock.trace:
-        if task.duration < min_duration_s:
-            continue
-        events.append(
-            {
-                "name": task.label or "task",
-                "ph": "X",
-                "pid": 0,
-                "tid": resources.get(task.resource, len(resources)),
-                "ts": task.start * 1e6,
-                "dur": task.duration * 1e6,
-            }
-        )
-    return events
+    warn_deprecated(
+        "pipeline.trace_export.chrome_trace_events",
+        f"repro.pipeline.trace_export.chrome_trace_events is deprecated: {_MOVED}",
+    )
+    return _export.chrome_trace_events(
+        clock, process_name=process_name, min_duration_s=min_duration_s
+    )
 
 
 def export_chrome_trace(
@@ -65,17 +48,11 @@ def export_chrome_trace(
     process_name: str = "repro",
     min_duration_s: float = 0.0,
 ) -> Path:
-    """Write the trace JSON; returns the path.
-
-    Remember to construct the context with ``FrameworkConfig(trace=True)``
-    — without tracing the clock records no tasks.
-    """
-    path = Path(path)
-    payload = {
-        "traceEvents": chrome_trace_events(
-            clock, process_name=process_name, min_duration_s=min_duration_s
-        ),
-        "displayTimeUnit": "ms",
-    }
-    path.write_text(json.dumps(payload))
-    return path
+    """Write the trace JSON; returns the path."""
+    warn_deprecated(
+        "pipeline.trace_export.export_chrome_trace",
+        f"repro.pipeline.trace_export.export_chrome_trace is deprecated: {_MOVED}",
+    )
+    return _export.export_chrome_trace(
+        clock, path, process_name=process_name, min_duration_s=min_duration_s
+    )

@@ -18,6 +18,8 @@ because every ``recv`` has a matching earlier ``send``.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.fixedpoint.encoding import FixedPointEncoder
@@ -34,17 +36,44 @@ from repro.runtime.messages import (
     TAG_RESULT,
     tag_for,
 )
+from repro.telemetry.registry import MetricRegistry
 from repro.util.errors import ProtocolError
+
+
+class _ActorStats:
+    """Per-actor message accounting: ``runtime.messages{actor,direction}``
+    counters plus a wall-clock histogram of time spent blocked in recv."""
+
+    def __init__(self, actor: str, telemetry):
+        self.actor = actor
+        registry = telemetry.registry if telemetry is not None else MetricRegistry()
+        self._messages = registry.counter(
+            "runtime.messages", "actor-level messages by direction"
+        )
+        self._recv_wait = registry.histogram(
+            "runtime.recv_wall_seconds", "wall time blocked in transport recv"
+        )
+
+    def sent(self) -> None:
+        self._messages.inc(1, actor=self.actor, direction="sent")
+
+    def recv(self, view, source: str, tag):
+        t0 = time.perf_counter()
+        msg = view.recv(source, tag)
+        self._recv_wait.observe(time.perf_counter() - t0, actor=self.actor)
+        self._messages.inc(1, actor=self.actor, direction="received")
+        return msg
 
 
 class ClientActor:
     """The data owner / trusted dealer."""
 
-    def __init__(self, view, *, frac_bits: int = 13, seed: int = 0):
+    def __init__(self, view, *, frac_bits: int = 13, seed: int = 0, telemetry=None):
         self.view = view
         self.encoder = FixedPointEncoder(frac_bits)
         self._rng = np.random.default_rng(seed)
-        self._dealer = TripletDealer(np.random.default_rng(seed + 1))
+        self._dealer = TripletDealer(np.random.default_rng(seed + 1), telemetry=telemetry)
+        self._stats = _ActorStats("client", telemetry)
 
     # -- offline ---------------------------------------------------------------
 
@@ -69,6 +98,7 @@ class ClientActor:
                 z=triplet.z[i],
             )
             self.view.send(f"server{i}", tag_for(TAG_MATERIAL, label), material)
+            self._stats.sent()
 
     # -- online result ----------------------------------------------------------
 
@@ -76,7 +106,7 @@ class ClientActor:
         """Receive both servers' shares and decode the result."""
         shares = {}
         for i in (0, 1):
-            msg: ResultShare = self.view.recv(f"server{i}", tag_for(TAG_RESULT, label))
+            msg: ResultShare = self._stats.recv(self.view, f"server{i}", tag_for(TAG_RESULT, label))
             if msg.label != label or msg.party_id != i:
                 raise ProtocolError(
                     f"client: result stream mismatch (got {msg.label}/{msg.party_id}, "
@@ -89,13 +119,14 @@ class ClientActor:
 class ServerActor:
     """One of the two computation servers."""
 
-    def __init__(self, party_id: int, view, *, frac_bits: int = 13):
+    def __init__(self, party_id: int, view, *, frac_bits: int = 13, telemetry=None):
         if party_id not in (0, 1):
             raise ProtocolError(f"party_id must be 0 or 1, got {party_id}")
         self.party_id = party_id
         self.view = view
         self.frac_bits = frac_bits
         self._pending: dict[str, MatmulMaterial] = {}
+        self._stats = _ActorStats(f"server{party_id}", telemetry)
 
     @property
     def peer(self) -> str:
@@ -104,7 +135,9 @@ class ServerActor:
     # -- protocol steps, split so drivers can interleave the two servers --------
 
     def receive_material(self, label: str) -> None:
-        material: MatmulMaterial = self.view.recv("client", tag_for(TAG_MATERIAL, label))
+        material: MatmulMaterial = self._stats.recv(
+            self.view, "client", tag_for(TAG_MATERIAL, label)
+        )
         if material.label != label or material.party_id != self.party_id:
             raise ProtocolError(
                 f"server{self.party_id}: material stream mismatch on {label!r}"
@@ -118,6 +151,7 @@ class ServerActor:
         f_i = ring_sub(m.b_share, m.v)
         self._pending_masked = (label, e_i, f_i)
         self.view.send(self.peer, tag_for(TAG_MASKED, label), MaskedPair(label, e_i, f_i))
+        self._stats.sent()
 
     def finish_matmul(self, label: str, *, keep_share: bool = False) -> np.ndarray | None:
         """Eq. 5 + Eq. 8 + local truncation; ship C_i to the client."""
@@ -127,7 +161,7 @@ class ServerActor:
             raise ProtocolError(
                 f"server{self.party_id}: masked state is for {own_label!r}, not {label!r}"
             )
-        remote: MaskedPair = self.view.recv(self.peer, tag_for(TAG_MASKED, label))
+        remote: MaskedPair = self._stats.recv(self.view, self.peer, tag_for(TAG_MASKED, label))
         e = ring_add(e_i, remote.e)
         f = ring_add(f_i, remote.f)
         lead = m.a_share if self.party_id == 0 else ring_sub(m.a_share, e)
@@ -141,6 +175,7 @@ class ServerActor:
         self.view.send(
             "client", tag_for(TAG_RESULT, label), ResultShare(label, self.party_id, c_i)
         )
+        self._stats.sent()
         return None
 
     def _require(self, label: str) -> MatmulMaterial:

@@ -12,6 +12,12 @@ Each device owns resources on a shared :class:`SimClock`:
 Every method *really computes* its result with NumPy and *also* returns
 the :class:`Task` carrying its simulated interval, so callers can build
 dependency graphs (pipelines) out of the return values.
+
+Kernel time lands in the telemetry registry as histograms
+(``simgpu.kernel_seconds{device,kind}`` / ``simcpu.seconds{device,kind}``)
+together with PCIe byte counters and a queue-wait histogram measuring how
+long each task sat ready behind a busy stream; the historical counters
+(``gemm_count``, ``h2d_bytes``, ...) are thin views over those series.
 """
 
 from __future__ import annotations
@@ -22,7 +28,14 @@ from repro.fixedpoint.ring import ring_add, ring_matmul, ring_mul, ring_sub
 from repro.simgpu.clock import SimClock, Task
 from repro.simgpu.cost import CPUSpec, DeviceSpec
 from repro.simgpu.memory import DeviceBuffer, MemoryPool
+from repro.telemetry.registry import MetricRegistry
 from repro.util.errors import DeviceError
+
+
+def _queue_wait(task: Task, deps) -> float:
+    """Seconds the task sat ready (all deps done) before its resource freed up."""
+    ready = max((d.finish for d in deps), default=0.0)
+    return max(0.0, task.start - ready)
 
 
 class SimGPU:
@@ -36,6 +49,7 @@ class SimGPU:
         *,
         n_streams: int = 2,
         tensor_core: bool = False,
+        telemetry=None,
     ):
         self.clock = clock
         self.spec = spec
@@ -47,12 +61,41 @@ class SimGPU:
             clock.add_resource(self.stream(s))
         clock.add_resource(self.h2d_engine)
         clock.add_resource(self.d2h_engine)
-        # counters for the profiler / figures
-        self.gemm_count = 0
-        self.gemm_flops = 0.0
-        self.h2d_bytes = 0
-        self.d2h_bytes = 0
+        registry = telemetry.registry if telemetry is not None else MetricRegistry()
+        self._kernel_seconds = registry.histogram(
+            "simgpu.kernel_seconds", "kernel time by device and kind"
+        )
+        self._queue_wait_seconds = registry.histogram(
+            "simgpu.queue_wait_seconds", "time ready work waited behind busy streams"
+        )
+        self._h2d = registry.counter("simgpu.h2d_bytes", "host-to-device PCIe bytes")
+        self._d2h = registry.counter("simgpu.d2h_bytes", "device-to-host PCIe bytes")
+        self._gemm_count = registry.counter("simgpu.gemm_count", "GEMM kernel launches")
+        self._gemm_flops = registry.counter("simgpu.gemm_flops", "GEMM floating-point ops")
         self._curand_initialised = False
+
+    # -- thin views over the registry (historical counter surface) -------------
+
+    @property
+    def gemm_count(self) -> int:
+        return int(self._gemm_count.value(device=self.name))
+
+    @property
+    def gemm_flops(self) -> float:
+        return self._gemm_flops.value(device=self.name)
+
+    @property
+    def h2d_bytes(self) -> int:
+        return int(self._h2d.value(device=self.name))
+
+    @property
+    def d2h_bytes(self) -> int:
+        return int(self._d2h.value(device=self.name))
+
+    def _observe(self, kind: str, task: Task, deps) -> Task:
+        self._kernel_seconds.observe(task.duration, device=self.name, kind=kind)
+        self._queue_wait_seconds.observe(_queue_wait(task, deps), device=self.name)
+        return task
 
     def stream(self, k: int = 0) -> str:
         if not 0 <= k < self.n_streams:
@@ -75,7 +118,8 @@ class SimGPU:
         t = self.clock.run(
             self.h2d_engine, self.spec.transfer_seconds(buf.nbytes), deps=deps, label=label
         )
-        self.h2d_bytes += buf.nbytes
+        self._h2d.inc(buf.nbytes, device=self.name)
+        self._observe("h2d", t, deps)
         return buf, t
 
     def d2h(self, buf: DeviceBuffer, deps=(), label: str = "d2h") -> tuple[np.ndarray, Task]:
@@ -84,7 +128,8 @@ class SimGPU:
         t = self.clock.run(
             self.d2h_engine, self.spec.transfer_seconds(data.nbytes), deps=deps, label=label
         )
-        self.d2h_bytes += data.nbytes
+        self._d2h.inc(data.nbytes, device=self.name)
+        self._observe("d2h", t, deps)
         return data, t
 
     def free(self, buf: DeviceBuffer) -> None:
@@ -94,9 +139,10 @@ class SimGPU:
 
     def _charge_gemm(self, m: int, k: int, n: int, stream: int, deps, label: str) -> Task:
         dur = self.spec.gemm_seconds(m, k, n, tensor_core=self.tensor_core)
-        self.gemm_count += 1
-        self.gemm_flops += 2.0 * m * k * n
-        return self.clock.run(self.stream(stream), dur, deps=deps, label=label)
+        self._gemm_count.inc(1, device=self.name)
+        self._gemm_flops.inc(2.0 * m * k * n, device=self.name)
+        t = self.clock.run(self.stream(stream), dur, deps=deps, label=label)
+        return self._observe("gemm", t, deps)
 
     def gemm_ring(
         self,
@@ -165,6 +211,7 @@ class SimGPU:
         t = self.clock.run(
             self.stream(stream), self.spec.elementwise_seconds(nbytes), deps=deps, label=label
         )
+        self._observe("elementwise", t, deps)
         return out, t
 
     def ring_add(self, a: DeviceBuffer, b: DeviceBuffer, deps=(), **kw):
@@ -188,6 +235,7 @@ class SimGPU:
         dur = self.spec.curand_seconds(data.nbytes, include_setup=not self._curand_initialised)
         self._curand_initialised = True
         t = self.clock.run(self.stream(stream), dur, deps=deps, label="curand")
+        self._observe("curand", t, deps)
         return out, t
 
 
@@ -201,42 +249,63 @@ class SimCPU:
         name: str = "cpu0",
         *,
         parallel_enabled: bool = True,
+        telemetry=None,
     ):
         self.clock = clock
         self.spec = spec
         self.name = name
         self.parallel_enabled = bool(parallel_enabled)
         clock.add_resource(self.resource)
-        self.rng_bytes = 0
+        registry = telemetry.registry if telemetry is not None else MetricRegistry()
+        self._seconds = registry.histogram("simcpu.seconds", "host-side time by kind")
+        self._rng_bytes = registry.counter("simcpu.rng_bytes", "bytes of ring randomness drawn")
+
+    @property
+    def rng_bytes(self) -> int:
+        return int(self._rng_bytes.value(device=self.name))
 
     @property
     def resource(self) -> str:
         return f"{self.name}.cpu"
 
-    def run(self, duration: float, deps=(), label: str = "cpu") -> Task:
+    def run(self, duration: float, deps=(), label: str = "cpu", *, kind: str = "run") -> Task:
         """Charge raw seconds to the CPU timeline."""
-        return self.clock.run(self.resource, duration, deps=deps, label=label)
+        t = self.clock.run(self.resource, duration, deps=deps, label=label)
+        self._seconds.observe(t.duration, device=self.name, kind=kind)
+        return t
 
     def gemm_ring(self, a: np.ndarray, b: np.ndarray, deps=(), label="cpu_gemm"):
         out = ring_matmul(a, b)
-        t = self.run(self.spec.gemm_seconds(a.shape[0], a.shape[1], b.shape[1]), deps, label)
+        t = self.run(
+            self.spec.gemm_seconds(a.shape[0], a.shape[1], b.shape[1]), deps, label, kind="gemm"
+        )
         return out, t
 
     def gemm_float(self, a: np.ndarray, b: np.ndarray, deps=(), label="cpu_gemm"):
         out = a @ b
-        t = self.run(self.spec.gemm_seconds(a.shape[0], a.shape[1], b.shape[1]), deps, label)
+        t = self.run(
+            self.spec.gemm_seconds(a.shape[0], a.shape[1], b.shape[1]), deps, label, kind="gemm"
+        )
         return out, t
 
     def elementwise(self, fn, arrays, deps=(), label="cpu_elementwise"):
         result = fn(*arrays)
         nbytes = sum(a.nbytes for a in arrays) + result.nbytes
         t = self.run(
-            self.spec.elementwise_seconds(nbytes, parallel=self.parallel_enabled), deps, label
+            self.spec.elementwise_seconds(nbytes, parallel=self.parallel_enabled),
+            deps,
+            label,
+            kind="elementwise",
         )
         return result, t
 
     def rng_uniform_ring(self, shape, rng: np.random.Generator, deps=(), label="mt19937"):
         data = rng.integers(0, 2**64, size=shape, dtype=np.uint64)
-        self.rng_bytes += data.nbytes
-        t = self.run(self.spec.rng_seconds(data.nbytes, parallel=self.parallel_enabled), deps, label)
+        self._rng_bytes.inc(data.nbytes, device=self.name)
+        t = self.run(
+            self.spec.rng_seconds(data.nbytes, parallel=self.parallel_enabled),
+            deps,
+            label,
+            kind="rng",
+        )
         return data, t

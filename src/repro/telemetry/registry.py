@@ -1,0 +1,233 @@
+"""Label-aware metric primitives: counters, gauges, histograms.
+
+The registry is the single source of truth for every quantitative fact
+the framework records about itself — bytes on a link, kernel seconds by
+kind, triplets issued per shape.  Pre-existing ad-hoc counters
+(``Channel.bytes_sent``, ``CompressionStats``, the device counters) are
+kept API-compatible as *thin views* over registry series, so the paper's
+evaluation machinery and this subsystem can never disagree.
+
+Model (a deliberately small subset of the Prometheus data model):
+
+* a **metric** has a name, a kind and a set of **series**;
+* a **series** is one labelled instance of the metric, keyed by its
+  sorted ``(label, value)`` pairs;
+* :class:`Counter` series only increase (reset is explicit);
+* :class:`Gauge` series hold the last value set;
+* :class:`Histogram` series accumulate count/sum/min/max plus
+  log-spaced bucket counts, sized for simulated seconds (1 ns .. 10 s).
+
+Queries accept *partial* label sets: ``counter.value(channel="a<->b")``
+sums every series whose labels include that pair — which is what makes
+per-direction accounting roll up into per-channel totals for free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigError
+
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds: log-spaced for durations that
+#: range from nanosecond kernel launches to multi-second phases.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(10.0**e for e in range(-9, 2)) + (math.inf,)
+
+
+def label_key(labels: dict[str, object]) -> LabelKey:
+    """Canonical hashable form of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _matches(series_key: LabelKey, query: LabelKey) -> bool:
+    """True when every (label, value) pair of ``query`` appears in the key."""
+    pairs = dict(series_key)
+    return all(pairs.get(k) == v for k, v in query)
+
+
+class _Metric:
+    """Shared plumbing: named, labelled series storage."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+
+    def _select(self, store: dict, labels: dict) -> list:
+        query = label_key(labels)
+        return [v for key, v in store.items() if _matches(key, query)]
+
+
+class Counter(_Metric):
+    """Monotonically increasing series; decrements are rejected."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, description: str = ""):
+        super().__init__(name, description)
+        self._series: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise ConfigError(f"counter {self.name}: negative increment {amount}")
+        key = label_key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        """Sum of every series matching the (possibly partial) labels."""
+        return sum(self._select(self._series, labels))
+
+    def series(self) -> dict[LabelKey, float]:
+        return dict(self._series)
+
+    def reset(self, **labels) -> None:
+        """Drop matching series (used by ``Channel.reset_counters``)."""
+        query = label_key(labels)
+        for key in [k for k in self._series if _matches(k, query)]:
+            del self._series[key]
+
+
+class Gauge(_Metric):
+    """Last-value-wins series (e.g. the current phase clock reading)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, description: str = ""):
+        super().__init__(name, description)
+        self._series: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        self._series[label_key(labels)] = value
+
+    def value(self, default: float = 0.0, **labels) -> float:
+        matched = self._select(self._series, labels)
+        if not matched:
+            return default
+        if len(matched) > 1:
+            raise ConfigError(
+                f"gauge {self.name}: labels {labels} match {len(matched)} series; "
+                "narrow the query"
+            )
+        return matched[0]
+
+    def series(self) -> dict[LabelKey, float]:
+        return dict(self._series)
+
+
+@dataclass
+class HistogramData:
+    """Accumulated distribution of one histogram series (or a merge)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    bucket_counts: tuple[int, ...] = ()
+
+    def __post_init__(self):
+        if not self.bucket_counts:
+            self.bucket_counts = tuple(0 for _ in self.bounds)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def observe(self, value: float) -> None:
+        counts = list(self.bucket_counts)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                counts[i] += 1
+                break
+        self.bucket_counts = tuple(counts)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    def merge(self, other: "HistogramData") -> "HistogramData":
+        if other.bounds != self.bounds:
+            raise ConfigError("cannot merge histograms with different bucket bounds")
+        return HistogramData(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            min=min(self.min, other.min),
+            max=max(self.max, other.max),
+            bounds=self.bounds,
+            bucket_counts=tuple(a + b for a, b in zip(self.bucket_counts, other.bucket_counts)),
+        )
+
+
+class Histogram(_Metric):
+    """Distribution metric: kernel durations, queue waits, latencies."""
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, description: str = "", *, buckets: tuple[float, ...] | None = None
+    ):
+        super().__init__(name, description)
+        bounds = tuple(buckets) if buckets else DEFAULT_BUCKETS
+        if bounds != tuple(sorted(bounds)):
+            raise ConfigError(f"histogram {name}: bucket bounds must be sorted")
+        if not bounds or bounds[-1] != math.inf:
+            bounds = bounds + (math.inf,)
+        self.bounds = bounds
+        self._series: dict[LabelKey, HistogramData] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = label_key(labels)
+        data = self._series.get(key)
+        if data is None:
+            data = self._series[key] = HistogramData(bounds=self.bounds)
+        data.observe(value)
+
+    def data(self, **labels) -> HistogramData:
+        """Merged distribution of every series matching the labels."""
+        merged = HistogramData(bounds=self.bounds)
+        for d in self._select(self._series, labels):
+            merged = merged.merge(d)
+        return merged
+
+    def series(self) -> dict[LabelKey, HistogramData]:
+        return dict(self._series)
+
+
+class MetricRegistry:
+    """Get-or-create store of metrics; kind conflicts are errors."""
+
+    def __init__(self):
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, description: str, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ConfigError(
+                    f"metric {name!r} already registered as {existing.kind}, "
+                    f"requested {cls.kind}"
+                )
+            return existing
+        metric = cls(name, description, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, description)
+
+    def histogram(
+        self, name: str, description: str = "", *, buckets: tuple[float, ...] | None = None
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, description, buckets=buckets)
+
+    def metrics(self) -> dict[str, _Metric]:
+        return dict(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics

@@ -1,0 +1,26 @@
+"""Warn-once deprecation plumbing for the public-API renovation.
+
+Every deprecated call form funnels through :func:`warn_deprecated`,
+which emits exactly one :class:`DeprecationWarning` per distinct key per
+process — loud enough to notice, quiet enough not to drown a training
+loop that hits a shimmed path once per batch.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_emitted: set[str] = set()
+
+
+def warn_deprecated(key: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``message`` as a DeprecationWarning once per ``key``."""
+    if key in _emitted:
+        return
+    _emitted.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which warnings fired (test isolation helper)."""
+    _emitted.clear()

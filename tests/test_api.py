@@ -1,0 +1,145 @@
+"""The public API facade: ``repro``/``repro.api`` exports, session
+wiring, and the deprecation shims (each warns exactly once)."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.config import FrameworkConfig
+from repro.core.context import SecureContext
+from repro.util.deprecation import reset_deprecation_warnings
+
+
+@pytest.fixture(autouse=True)
+def _fresh_deprecation_state():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+class TestFacade:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_core_surface(self):
+        assert repro.api.session is not None
+        assert repro.SecureContext is SecureContext
+        assert repro.FrameworkConfig is FrameworkConfig
+        assert callable(repro.secure_matmul)
+        assert callable(repro.secure_predict)
+        assert repro.Telemetry is not None
+
+    def test_deep_imports_keep_working(self):
+        from repro.core.context import SecureContext as deep  # noqa: F401
+        from repro.pipeline import trace_export  # noqa: F401
+        from repro.telemetry import export_chrome_trace  # noqa: F401
+
+
+class TestSession:
+    def test_default_session_is_parsecureml(self):
+        ctx = repro.api.session()
+        assert isinstance(ctx, SecureContext)
+        assert ctx.config.use_gpu and ctx.config.compression
+        assert ctx.telemetry is not None
+
+    def test_explicit_config_is_used(self):
+        cfg = FrameworkConfig.secureml()
+        ctx = repro.api.session(config=cfg)
+        assert ctx.config is cfg
+        assert not ctx.config.use_gpu
+
+    def test_keyword_overrides(self):
+        ctx = repro.api.session(compression=False, seed=7)
+        assert not ctx.config.compression
+        assert ctx.config.seed == 7
+        assert ctx.config.use_gpu  # untouched fields keep their defaults
+
+    def test_overrides_compose_with_config(self):
+        ctx = repro.api.session(FrameworkConfig.secureml(), trace=True)
+        assert not ctx.config.use_gpu
+        assert ctx.config.trace
+
+    def test_create_classmethod(self):
+        ctx = SecureContext.create()
+        assert isinstance(ctx, SecureContext)
+        assert SecureContext.create(FrameworkConfig.secureml()).config.use_gpu is False
+
+    def test_session_round_trip(self):
+        """A session computes correctly and its telemetry saw the work."""
+        ctx = repro.api.session()
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=(8, 6)), rng.normal(size=(6, 4))
+        x = repro.SharedTensor.from_plain(ctx, a)
+        y = repro.SharedTensor.from_plain(ctx, b)
+        out = repro.secure_matmul(x, y, label="rt")
+        np.testing.assert_allclose(out.decode(), a @ b, atol=1e-2)
+        snap = ctx.telemetry.snapshot()
+        assert snap.counter("ops.invocations", op="matmul") == 1
+        spans = snap.spans("op.rt")
+        assert "op.rt" in [s.name for s in spans]
+        trunc = next(s for s in spans if s.name == "op.rt:trunc")
+        assert trunc.depth == 1  # the truncation nests inside the matmul span
+
+
+class TestDeprecations:
+    def _count(self, fn) -> int:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fn()
+        return sum(1 for w in caught if issubclass(w.category, DeprecationWarning))
+
+    def test_trace_export_shims_warn_exactly_once(self, tmp_path):
+        from repro.pipeline import trace_export
+
+        clock = repro.api.session().online_clock
+        assert self._count(lambda: trace_export.chrome_trace_events(clock)) == 1
+        assert self._count(lambda: trace_export.chrome_trace_events(clock)) == 0
+        assert (
+            self._count(
+                lambda: trace_export.export_chrome_trace(clock, tmp_path / "t.json")
+            )
+            == 1
+        )
+        assert (
+            self._count(
+                lambda: trace_export.export_chrome_trace(clock, tmp_path / "t2.json")
+            )
+            == 0
+        )
+
+    def test_positional_activation_kind_warns_exactly_once(self):
+        ctx = repro.api.session()
+        rng = np.random.default_rng(0)
+        x = repro.SharedTensor.from_plain(ctx, rng.normal(size=(4, 4)))
+        assert self._count(lambda: repro.activation(x, "relu")) == 1
+        assert self._count(lambda: repro.activation(x, "relu")) == 0
+        # keyword form never warns
+        assert self._count(lambda: repro.activation(x, kind="relu")) == 0
+
+    def test_activation_rejects_ambiguous_calls(self):
+        ctx = repro.api.session()
+        x = repro.SharedTensor.from_plain(ctx, np.zeros((2, 2)))
+        with pytest.raises(TypeError):
+            repro.activation(x, "relu", kind="relu")
+        with pytest.raises(TypeError):
+            repro.activation(x, "relu", "sigmoid")
+
+    def test_shim_output_matches_new_exporter(self):
+        from repro.pipeline import trace_export
+        from repro.telemetry import chrome_trace_events
+
+        ctx = repro.api.session(trace=True)
+        rng = np.random.default_rng(0)
+        a = repro.SharedTensor.from_plain(ctx, rng.normal(size=(8, 6)))
+        b = repro.SharedTensor.from_plain(ctx, rng.normal(size=(6, 4)))
+        repro.secure_matmul(a, b)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = trace_export.chrome_trace_events(ctx.online_clock)
+        new = chrome_trace_events(ctx.online_clock)
+        assert old == new
