@@ -27,6 +27,7 @@ See README.md for a quickstart and DESIGN.md for the system inventory.
 
 from repro import api
 from repro.core.config import FrameworkConfig
+from repro.faults import FaultPlan, PartyCrash, PartyFailure, ReliableTransport, RetryPolicy
 from repro.core.context import SecureContext
 from repro.core.inference import InferenceReport, secure_predict
 from repro.core.models import (
@@ -73,5 +74,10 @@ __all__ = [
     "TrainReport",
     "secure_predict",
     "InferenceReport",
+    "FaultPlan",
+    "PartyCrash",
+    "PartyFailure",
+    "RetryPolicy",
+    "ReliableTransport",
     "__version__",
 ]

@@ -43,6 +43,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--system", choices=["par", "sml", "both"], default="both")
     parser.add_argument("--batches", type=int, default=2, help="real batches to measure")
     parser.add_argument("--batch-size", type=int, default=128)
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload-generation seed; the same seed reproduces the run exactly",
+    )
     parser.add_argument("--inference", action="store_true", help="forward pass only")
     parser.add_argument("--full-scale", action="store_true", help="NIST at 512x512")
     parser.add_argument(
@@ -58,12 +62,12 @@ def main(argv: list[str] | None = None) -> int:
         if args.inference:
             res = run_secure_inference(
                 args.model, args.dataset, cfg,
-                n_batches=args.batches, batch_size=args.batch_size,
+                n_batches=args.batches, batch_size=args.batch_size, seed=args.seed,
             )
         else:
             res = run_secure(
                 args.model, args.dataset, cfg,
-                n_batches=args.batches, batch_size=args.batch_size,
+                n_batches=args.batches, batch_size=args.batch_size, seed=args.seed,
                 full_scale=args.full_scale,
             )
         n = args.batches if args.no_extrapolate else None
@@ -78,7 +82,7 @@ def main(argv: list[str] | None = None) -> int:
         for device in ("cpu", "gpu"):
             res = run_plain(
                 args.model, args.dataset, device,
-                n_batches=args.batches, batch_size=args.batch_size,
+                n_batches=args.batches, batch_size=args.batch_size, seed=args.seed,
                 tensor_core=(device == "gpu"), full_scale=args.full_scale,
             )
             n = args.batches if args.no_extrapolate else None

@@ -155,6 +155,17 @@ class DeltaCompressor:
             self._compressed.inc(1, direction=self.direction)
         return payload
 
+    def reset_stream_state(self) -> None:
+        """Forget per-stream delta history (counters are kept).
+
+        Fault recovery calls this after a party restart: a send
+        interrupted between ``encode`` and ``decode`` leaves the two
+        histories desynchronised, so the session is renegotiated from
+        dense — exactly what a reconnecting peer would do.
+        """
+        self._sent_history.clear()
+        self._recv_history.clear()
+
     # -- receiver -------------------------------------------------------------
 
     def decode(self, payload: CompressedPayload) -> np.ndarray:

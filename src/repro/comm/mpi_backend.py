@@ -144,3 +144,7 @@ class _LoopbackView:
 
     def barrier(self) -> None:  # single process: nothing to synchronise
         return None
+
+    def pending_summary(self) -> dict[tuple[str, str], int]:
+        """Undelivered (src, tag) -> count for this role's mailbox."""
+        return self._hub.mailboxes[self.role].pending_summary()

@@ -50,17 +50,48 @@ class Mailbox:
 
         Raises :class:`TransportError` when nothing is pending — in the
         lockstep simulation a missing message is always a protocol bug,
-        so failing loudly beats blocking forever.
+        so failing loudly beats blocking forever.  The error lists what
+        *is* queued, so a misrouted tag is diagnosable from the message.
         """
         q = self._queue(src, tag)
         if not q:
+            waiting = self.pending_summary()
+            detail = (
+                "; pending queues: "
+                + ", ".join(f"({s!r}, {t!r})x{n}" for (s, t), n in sorted(waiting.items()))
+                if waiting
+                else "; mailbox is empty"
+            )
             raise TransportError(
-                f"{self.owner}: no pending message from {src!r} with tag {tag!r}"
+                f"{self.owner}: no pending message from {src!r} with tag {tag!r}{detail}"
             )
         return q.popleft()
 
-    def pending(self, src: str, tag: str) -> int:
-        return len(self._queue(src, tag))
+    def pending(self, src: str | None = None, tag: str | None = None) -> int:
+        """Queued message count, over the whole mailbox or one filter.
+
+        ``pending()`` totals everything (the actors' idle assertions),
+        ``pending(src, tag)`` counts one stream; ``src`` and ``tag``
+        filter independently.
+        """
+        return sum(
+            len(q)
+            for (s, t), q in self._queues.items()
+            if (src is None or s == src) and (tag is None or t == tag)
+        )
+
+    def peek(self, src: str, tag: str) -> Any:
+        """The next payload from ``(src, tag)`` without consuming it."""
+        q = self._queue(src, tag)
+        if not q:
+            raise TransportError(
+                f"{self.owner}: nothing to peek from {src!r} with tag {tag!r}"
+            )
+        return q[0]
+
+    def pending_summary(self) -> dict[tuple[str, str], int]:
+        """Non-empty ``(src, tag) -> count`` map (introspection surface)."""
+        return {key: len(q) for key, q in self._queues.items() if q}
 
 
 class TransportHub:

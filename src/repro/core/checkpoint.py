@@ -54,8 +54,14 @@ def _named_parameters(model) -> list[tuple[str, SharedTensor]]:
     return out
 
 
-def save_model(model, directory: str | Path) -> Path:
-    """Write the model's shares as server0.npz / server1.npz + manifest."""
+def save_model(model, directory: str | Path, *, extra: dict | None = None) -> Path:
+    """Write the model's shares as server0.npz / server1.npz + manifest.
+
+    ``extra`` is caller-owned JSON-serialisable metadata stored in the
+    manifest and handed back by :func:`load_model` — the training driver
+    records its batch cursor there so a restarted run knows where to
+    resume.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     params = _named_parameters(model)
@@ -71,13 +77,17 @@ def save_model(model, directory: str | Path) -> Path:
             {"name": name, "shape": list(tensor.shape), "kind": tensor.kind}
             for name, tensor in params
         ],
+        "extra": dict(extra or {}),
     }
     (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
     return directory
 
 
-def load_model(model, directory: str | Path) -> None:
-    """Load shares into an already-constructed model of matching shape."""
+def load_model(model, directory: str | Path) -> dict:
+    """Load shares into an already-constructed model of matching shape.
+
+    Returns the ``extra`` metadata the checkpoint was saved with (an
+    empty dict for older checkpoints)."""
     directory = Path(directory)
     manifest_path = directory / MANIFEST_NAME
     if not manifest_path.exists():
@@ -118,3 +128,4 @@ def load_model(model, directory: str | Path) -> None:
             shares.append(arr)
         tensor.shares = (shares[0], shares[1])
         tensor.kind = meta["kind"]
+    return dict(manifest.get("extra", {}))

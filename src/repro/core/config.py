@@ -18,6 +18,7 @@ from dataclasses import dataclass, field, replace
 from typing import Literal
 
 from repro.comm.channel import INFINIBAND_100G, LinkSpec
+from repro.faults.plan import FaultPlan, RetryPolicy
 from repro.simgpu.cost import CPUSpec, DeviceSpec, V100_SPEC, XEON_E5_2670V3_SPEC
 from repro.util.errors import ConfigError
 
@@ -69,6 +70,13 @@ class FrameworkConfig:
     cpu_spec: CPUSpec = XEON_E5_2670V3_SPEC
     server_link: LinkSpec = INFINIBAND_100G
     uplink: LinkSpec = INFINIBAND_100G
+
+    # fault tolerance (repro.faults): a plan makes the inter-server link
+    # adversarial — the context wires a ResilientChannel + FaultInjector,
+    # and the drivers checkpoint/retry per retry_policy.  None = the
+    # paper's perfect fabric.
+    fault_plan: FaultPlan | None = None
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
 
     # reproducibility
     seed: int = 0

@@ -28,6 +28,8 @@ import numpy as np
 from repro.comm.channel import Channel
 from repro.comm.compression import CompressionStats, DeltaCompressor
 from repro.core.config import FrameworkConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.reliable import ResilientChannel
 from repro.fixedpoint.encoding import FixedPointEncoder
 from repro.fixedpoint.ring import ring_matmul, ring_mul, ring_sub
 from repro.mpc.comparison import ComparisonBundle, ComparisonDealer
@@ -162,9 +164,29 @@ class SecureContext:
             else None
             for i in (0, 1)
         ]
-        self.server_channel = Channel(
-            self.online_clock, cfg.server_link, "server0", "server1", telemetry=self.telemetry
+        # Fault tolerance: under a FaultPlan the inter-server link (the
+        # online hot path) becomes adversarial, and every retransmission
+        # byte / backoff wait is charged on this clock and channel so
+        # recovery costs show up in makespans.
+        self.fault_injector = (
+            FaultInjector(cfg.fault_plan, telemetry=self.telemetry)
+            if cfg.fault_plan is not None
+            else None
         )
+        if self.fault_injector is not None:
+            self.server_channel = ResilientChannel(
+                self.online_clock,
+                cfg.server_link,
+                "server0",
+                "server1",
+                telemetry=self.telemetry,
+                injector=self.fault_injector,
+                policy=cfg.retry_policy,
+            )
+        else:
+            self.server_channel = Channel(
+                self.online_clock, cfg.server_link, "server0", "server1", telemetry=self.telemetry
+            )
         self.compressors = {
             (0, 1): DeltaCompressor(
                 cfg.compression_threshold,
@@ -188,7 +210,10 @@ class SecureContext:
             tensor_core=cfg.tensor_core,
             cpu_parallel=cfg.cpu_parallel,
         )
-        self.comparison_dealer = ComparisonDealer(self.seeds.generator("comparison-dealer"))
+        self.comparison_dealer = ComparisonDealer(
+            self.seeds.generator("comparison-dealer"),
+            seeds=self.seeds.spawn("comparison-dealer"),
+        )
         self._dealer_rng = self.seeds.generator("triplet-dealer")
 
         # triplet streams: one triplet per op label, reused across
@@ -399,12 +424,16 @@ class SecureContext:
             self._elementwise_triplets[label] = cached
         return cached
 
-    def gen_comparison_bundle(self, shape) -> ComparisonBundle | None:
+    def gen_comparison_bundle(self, shape, label: str | None = None) -> ComparisonBundle | None:
         """Offline material for one secure comparison.
 
         Returns a real bundle under the ``dealer`` protocol; under
         ``emulated`` only the costs are charged (see
         :func:`repro.core.ops.secure_compare`); ``None`` in that case.
+        With a ``label`` (and ``fresh_triplets`` off) the bundle's
+        randomness is derived from the op-stream label, so replaying a
+        batch after checkpoint restore redraws bit-identical material —
+        the comparison analogue of the per-label triplet cache.
         """
         n = int(np.prod(shape))
         # Dealer-side generation cost: dominated by the bit-triplet RNG.
@@ -412,6 +441,8 @@ class SecureContext:
         self._charge_client_rng(material_bytes, "compare:rng")
         self._upload(material_bytes, "compare:upload")
         self._comparisons.inc(1)
+        if self.config.fresh_triplets:
+            label = None
         if self.config.activation_protocol == "dealer":
-            return self.comparison_dealer.bundle(tuple(shape))
+            return self.comparison_dealer.bundle(tuple(shape), label)
         return None

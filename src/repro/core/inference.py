@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.tensor import SharedTensor
+from repro.faults.blame import PartyFailure
 from repro.telemetry import maybe_span
 from repro.util.errors import ConfigError
 
@@ -32,6 +33,7 @@ class InferenceReport:
     server_bytes: int
     predictions: np.ndarray
     batch_online_s: list = field(default_factory=list)
+    retried_batches: int = 0  # failed requests recovered by retry
 
     @property
     def total_s(self) -> float:
@@ -57,12 +59,23 @@ def secure_predict(
     *,
     batch_size: int = 128,
     max_batches: int | None = None,
+    max_request_retries: int = 2,
 ) -> InferenceReport:
-    """Secure forward passes over ``x``; predictions decoded client-side."""
+    """Secure forward passes over ``x``; predictions decoded client-side.
+
+    Fault tolerance: a batch request that dies with a
+    :class:`~repro.faults.blame.PartyFailure` (crashed server, exhausted
+    retry budget on the link) is retried up to ``max_request_retries``
+    times after restarting the blamed party — the stateless-request
+    analogue of the trainer's checkpoint recovery.  The forward pass has
+    no persistent state, so a retried batch is bit-identical to an
+    undisturbed one.
+    """
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 2:
         raise ConfigError(f"secure_predict expects 2-D input, got shape {x.shape}")
     telemetry = getattr(ctx, "telemetry", None)
+    injector = getattr(ctx, "fault_injector", None)
     start = ctx.mark()
     with maybe_span(telemetry, "infer.share_dataset", clock="offline"):
         xs = SharedTensor.from_plain(ctx, x, label="infer/x")
@@ -71,10 +84,39 @@ def secure_predict(
     batch_online = []
     batches = 0
     samples = 0
+    retried = 0
     for lo in range(0, x.shape[0] - batch_size + 1, batch_size):
         bmark = ctx.mark()
-        with maybe_span(telemetry, "infer.batch", clock="online", batch=str(batches)):
-            pred = model.forward(xs.row_slice(lo, lo + batch_size), training=False)
+        attempts = 0
+        while True:
+            if injector is not None:
+                injector.advance_step(1)
+            try:
+                with maybe_span(telemetry, "infer.batch", clock="online", batch=str(batches)):
+                    pred = model.forward(xs.row_slice(lo, lo + batch_size), training=False)
+                break
+            except PartyFailure as failure:
+                attempts += 1
+                if attempts > max_request_retries:
+                    raise
+                retried += 1
+                with maybe_span(
+                    telemetry, "infer.request_retry", clock="online", party=failure.party
+                ):
+                    if injector is not None:
+                        injector.restart(failure.party)
+                    for compressor in getattr(ctx, "compressors", {}).values():
+                        compressor.reset_stream_state()
+                    if failure.party.startswith("server"):
+                        party_id = int(failure.party[-1])
+                        ctx.server_cpu[party_id].run(
+                            ctx.config.retry_policy.restart_penalty_s,
+                            label="recovery:restart",
+                        )
+                if telemetry is not None:
+                    telemetry.counter(
+                        "faults.requests_retried", "inference batch requests retried"
+                    ).inc(1, party=failure.party)
         outputs.append(pred.decode())
         batch_online.append(ctx.since(bmark).online_s)
         batches += 1
@@ -93,4 +135,5 @@ def secure_predict(
         server_bytes=delta.server_bytes,
         predictions=np.concatenate(outputs, axis=0) if outputs else np.empty((0,)),
         batch_online_s=batch_online,
+        retried_batches=retried,
     )

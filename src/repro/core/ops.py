@@ -339,12 +339,20 @@ def secure_compare_const(
 
 def _secure_compare_const_body(ctx, x, threshold, *, label: str) -> SharedTensor:
     c_enc = int(ctx.encoder.encode(np.float64(threshold)))
-    bundle = ctx.gen_comparison_bundle(x.shape)
+    bundle = ctx.gen_comparison_bundle(x.shape, label=label)
     if bundle is not None:
         res = secure_ge_const(x.shares[0], x.shares[1], c_enc, bundle)
     else:
+        # Resharing randomness is keyed by the op-stream label (not an
+        # advancing counter) so checkpoint replay redraws identical
+        # shares — truncation rounding is share-dependent, so replay
+        # bit-identity needs stable shares, not just stable plaintexts.
+        if ctx.config.fresh_triplets:
+            seed_label = f"cmp-{ctx.comparisons_issued}"
+        else:
+            seed_label = f"cmp/{label}"
         res = emulated_ge_const(
-            x.shares[0], x.shares[1], c_enc, ctx.seeds.generator(f"cmp-{ctx.comparisons_issued}")
+            x.shares[0], x.shares[1], c_enc, ctx.seeds.generator(seed_label)
         )
 
     # Online cost: ~70 vectorised bit-ops per element on each server CPU,

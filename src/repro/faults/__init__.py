@@ -1,0 +1,57 @@
+"""Deterministic fault injection + resilient delivery.
+
+The paper assumes a perfect 100 Gb/s fabric; this package is what makes
+the reproduction survive an imperfect one.  Two halves:
+
+* **Injection** — a seeded :class:`FaultPlan` (drop / duplicate /
+  corrupt / delay rates, party-crash-at-step specs, link partitions)
+  interpreted by a :class:`FaultInjector`.  Every decision is a pure
+  function of ``(plan.seed, link, message index)``, so a run under a
+  given plan is exactly reproducible regardless of how links interleave.
+* **Resilience** — :class:`ReliableTransport` wraps the in-process
+  :class:`~repro.comm.transport.TransportHub` with sequence numbers,
+  payload checksums, timeout/backoff retransmission and duplicate
+  suppression; :class:`ResilientChannel` applies the same discipline to
+  the cost-model :class:`~repro.comm.channel.Channel` so retransmitted
+  bytes and backoff waits show up in simulated makespans.  When the
+  retry budget is exhausted (or a party has crashed and not restarted)
+  both raise :class:`PartyFailure` carrying an identifiable-abort-style
+  :class:`BlameRecord` naming the faulty party.
+
+Recovery is wired into the drivers: :class:`~repro.core.training.SecureTrainer`
+checkpoints shares every K batches and replays from the last checkpoint
+after a party restart; :func:`~repro.core.inference.secure_predict`
+retries failed batch requests.  :mod:`repro.faults.chaos` is the harness
+the chaos tests use to assert bit-identical convergence under any
+recoverable plan.
+"""
+
+from repro.faults.blame import BlameRecord, PartyFailure
+from repro.faults.chaos import (
+    ChaosResult,
+    default_chaos_matrix,
+    snapshot_weights,
+    train_mlp_under_plan,
+    unrecoverable_plan,
+)
+from repro.faults.injector import FaultDecision, FaultInjector
+from repro.faults.plan import FaultPlan, LinkPartition, PartyCrash, RetryPolicy
+from repro.faults.reliable import ReliableTransport, ResilientChannel
+
+__all__ = [
+    "FaultPlan",
+    "PartyCrash",
+    "LinkPartition",
+    "RetryPolicy",
+    "FaultDecision",
+    "FaultInjector",
+    "BlameRecord",
+    "PartyFailure",
+    "ReliableTransport",
+    "ResilientChannel",
+    "ChaosResult",
+    "default_chaos_matrix",
+    "snapshot_weights",
+    "train_mlp_under_plan",
+    "unrecoverable_plan",
+]

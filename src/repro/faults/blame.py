@@ -1,0 +1,61 @@
+"""Identifiable-abort failure records.
+
+When resilience runs out (retry budget exhausted, unhealed partition,
+crashed party never restarted), the failure must *name a party* with the
+evidence that convicts it — the publicly-identifiable-abort discipline
+of the PIA-MPC line of work, transplanted to the systems layer.  The
+:class:`BlameRecord` is that verdict; :class:`PartyFailure` is the
+exception that carries it to whoever can act on it (a recovering driver,
+or the operator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ReproError
+
+
+@dataclass(frozen=True)
+class BlameRecord:
+    """Who failed, why we believe it, and what we saw.
+
+    ``party`` is the convicted endpoint; ``reason`` a stable machine
+    word (``"crash"`` / ``"retry-exhausted"`` / ``"partition"``);
+    ``link`` the observing direction (``"src->dst"``); ``step`` the
+    injector step / link message index at conviction; ``attempts`` how
+    many deliveries were tried; ``evidence`` human-readable lines.
+    """
+
+    party: str
+    reason: str
+    link: str = ""
+    step: int = 0
+    attempts: int = 0
+    evidence: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "evidence", tuple(self.evidence))
+
+    def render(self) -> str:
+        head = f"party {self.party!r} blamed for {self.reason}"
+        if self.link:
+            head += f" on {self.link}"
+        head += f" (step {self.step}, {self.attempts} attempts)"
+        return "\n".join([head, *(f"  - {line}" for line in self.evidence)])
+
+
+class PartyFailure(ReproError, RuntimeError):
+    """A party is convicted of failing the protocol.
+
+    Carries the :class:`BlameRecord` as ``.blame``; the message renders
+    it so an uncaught failure is still diagnosable from the traceback.
+    """
+
+    def __init__(self, blame: BlameRecord):
+        super().__init__(blame.render())
+        self.blame = blame
+
+    @property
+    def party(self) -> str:
+        return self.blame.party

@@ -106,14 +106,29 @@ class ComparisonBundle:
 
 
 class ComparisonDealer:
-    """Offline factory for :class:`ComparisonBundle` objects."""
+    """Offline factory for :class:`ComparisonBundle` objects.
 
-    def __init__(self, rng: np.random.Generator):
+    With a ``seeds`` factory, :meth:`bundle` accepts an op-stream
+    ``label`` and derives that bundle's randomness from it instead of
+    the shared advancing ``rng`` — the comparison analogue of per-label
+    triplet caching: the same stream draws bit-identical material on
+    every invocation, which is what makes checkpoint replay (see
+    ``repro.faults``) reproduce a run exactly.  Bundles stay single-use
+    objects either way.
+    """
+
+    def __init__(self, rng: np.random.Generator, *, seeds=None):
         self._rng = rng
+        self._seeds = seeds
         self.bundles_issued = 0
 
-    def bundle(self, shape: tuple[int, ...]) -> ComparisonBundle:
-        rng = self._rng
+    def bundle(
+        self, shape: tuple[int, ...], label: str | None = None
+    ) -> ComparisonBundle:
+        if label is not None and self._seeds is not None:
+            rng = self._seeds.generator(f"bundle/{label}")
+        else:
+            rng = self._rng
         shape = tuple(shape)
         r = rng.integers(0, 2**64, size=shape, dtype=np.uint64)
         r_arith = share_secret(r, rng)

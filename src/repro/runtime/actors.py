@@ -65,7 +65,30 @@ class _ActorStats:
         return msg
 
 
-class ClientActor:
+class _IdleCheck:
+    """Shared idle assertion: a finished actor's mailbox must be drained.
+
+    Uses the transport view's ``pending_summary()`` introspection (the
+    :class:`~repro.comm.transport.Mailbox` surface); a leftover message
+    means a protocol step was skipped or double-sent, which the lockstep
+    drivers turn into a loud failure instead of silent queue growth.
+    """
+
+    view = None  # set by the actor subclasses
+
+    def assert_idle(self) -> None:
+        summary = getattr(self.view, "pending_summary", None)
+        if summary is None:  # e.g. a real MPI rank: no global introspection
+            return
+        waiting = summary()
+        if waiting:
+            detail = ", ".join(f"({s!r}, {t!r})x{n}" for (s, t), n in sorted(waiting.items()))
+            raise ProtocolError(
+                f"{self.view.role}: mailbox not drained at end of protocol; pending: {detail}"
+            )
+
+
+class ClientActor(_IdleCheck):
     """The data owner / trusted dealer."""
 
     def __init__(self, view, *, frac_bits: int = 13, seed: int = 0, telemetry=None):
@@ -116,7 +139,7 @@ class ClientActor:
         return self.encoder.decode(reconstruct(shares[0], shares[1]))
 
 
-class ServerActor:
+class ServerActor(_IdleCheck):
     """One of the two computation servers."""
 
     def __init__(self, party_id: int, view, *, frac_bits: int = 13, telemetry=None):
@@ -206,7 +229,10 @@ def run_matmul(
         s.send_masked(label)
     for s in servers:
         s.finish_matmul(label)
-    return client.collect(label)
+    result = client.collect(label)
+    for actor in (client, *servers):
+        actor.assert_idle()
+    return result
 
 
 def run_dense_forward(
@@ -248,4 +274,6 @@ def run_dense_forward(
             msg = client.view.recv(f"server{i}", tag_for(TAG_RESULT, layer_label))
             result_shares.append(msg.c_share)
         current_enc = reconstruct(result_shares[0], result_shares[1])
+    for actor in (client, *servers):
+        actor.assert_idle()
     return enc.decode(current_enc)

@@ -23,6 +23,17 @@ Metric naming conventions (dots group, labels discriminate):
 ``ops.online_seconds{op}``            online makespan attributed per op
 ``runtime.messages{actor,direction}`` actor-level message counts
 ``phase.sim_seconds{clock}``          gauge: each clock's frontier at snapshot
+``faults.injected{kind,link}``        fault events injected (repro.faults)
+``faults.retransmits{link}``          frames/messages retransmitted
+``faults.retransmit_bytes{link}``     wire bytes spent on retransmission
+``faults.timeouts{link}``             receive/ack timeouts
+``faults.backoff_seconds{link}``      simulated backoff wait charged
+``faults.corrupt_detected{link}``     checksum-mismatch discards
+``faults.duplicates_suppressed{...}`` already-seen frames discarded
+``faults.delays_applied{link}``       injected-delay hits
+``faults.party_restarts{party}``      crashed parties brought back
+``faults.batches_replayed{party}``    training batches re-run after restore
+``faults.requests_retried{party}``    inference batch requests retried
 ====================================  ==========================================
 """
 

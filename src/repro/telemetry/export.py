@@ -245,6 +245,33 @@ def text_report(snapshot: TelemetrySnapshot, *, title: str = "telemetry report")
             online = snapshot.counter("ops.online_seconds", op=op)
             lines.append(f"  {op:<12} x{int(calls):<5} online {_fmt_s(online):>12}")
 
+    fault_rows = []
+    for metric in (
+        "faults.injected",
+        "faults.retransmits",
+        "faults.retransmit_bytes",
+        "faults.timeouts",
+        "faults.backoff_seconds",
+        "faults.corrupt_detected",
+        "faults.duplicates_suppressed",
+        "faults.delays_applied",
+        "faults.party_restarts",
+        "faults.batches_replayed",
+        "faults.requests_retried",
+    ):
+        value = snapshot.counter(metric)
+        if value:
+            if metric == "faults.retransmit_bytes":
+                rendered = _fmt_bytes(value)
+            elif metric == "faults.backoff_seconds":
+                rendered = _fmt_s(value)
+            else:
+                rendered = f"{int(value)}"
+            fault_rows.append(f"  {metric.removeprefix('faults.'):<22} {rendered:>12}")
+    if fault_rows:
+        lines.append("-- fault injection & recovery --")
+        lines.extend(fault_rows)
+
     spans = snapshot.spans()
     if spans:
         lines.append(f"-- spans ({len(spans)} recorded) --")

@@ -37,3 +37,24 @@ class TestCLI:
     def test_rejects_unknown_model(self):
         with pytest.raises(SystemExit):
             main(["transformer", "MNIST"])
+
+    def test_seed_flag_reproduces_and_varies_the_workload(self, capsys):
+        args = ["linear", "MNIST", "--system", "par", "--batches", "1",
+                "--batch-size", "16", "--no-extrapolate"]
+        assert main(args + ["--seed", "5"]) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--seed", "5"]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # same seed, same simulated run
+
+    def test_seed_reaches_workload_generation(self):
+        import numpy as np
+
+        from repro.bench.workloads import load_workload
+
+        kw = dict(n_batches=1, batch_size=16)
+        x1, y1, _ = load_workload("linear", "MNIST", seed=1, **kw)
+        x1b, _, _ = load_workload("linear", "MNIST", seed=1, **kw)
+        x2, _, _ = load_workload("linear", "MNIST", seed=2, **kw)
+        np.testing.assert_array_equal(x1, x1b)  # same seed, same samples
+        assert not np.array_equal(x1, x2)  # different seed, different draw
