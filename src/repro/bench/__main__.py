@@ -6,6 +6,8 @@ Examples::
     python -m repro.bench CNN VGGFace2 --system par  # ParSecureML only
     python -m repro.bench linear NIST --inference    # forward-only (Fig. 13)
     python -m repro.bench MLP MNIST --batches 4 --no-extrapolate
+    python -m repro.bench MLP MNIST --system par --pool-size 8 \\
+        --static-mask-reuse --json BENCH_offline.json  # batched offline phase
 
 Prints the same per-phase numbers the benchmark suite aggregates into
 the paper's tables; see ``pytest benchmarks/ --benchmark-only`` for the
@@ -15,6 +17,8 @@ full regeneration.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 
 from repro.bench.harness import (
@@ -26,11 +30,17 @@ from repro.bench.workloads import BENCH_DATASETS, BENCH_MODELS
 from repro.core.config import FrameworkConfig
 
 
-def _configs(which: str):
+def _configs(which: str, *, pool_size: int = 0, static_mask_reuse: bool = False):
     par = FrameworkConfig.parsecureml(activation_protocol="emulated")
     sml = FrameworkConfig.secureml(activation_protocol="emulated")
-    return {"par": [("ParSecureML", par)], "sml": [("SecureML", sml)],
+    rows = {"par": [("ParSecureML", par)], "sml": [("SecureML", sml)],
             "both": [("SecureML", sml), ("ParSecureML", par)]}[which]
+    if (pool_size > 0 or static_mask_reuse) and which in ("par", "both"):
+        pooled = dataclasses.replace(
+            par, pool_size=pool_size, static_mask_reuse=static_mask_reuse
+        )
+        rows = [*rows, ("ParSecureML+pool", pooled)]
+    return rows
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -55,10 +65,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--plain", action="store_true",
                         help="also run the non-secure CPU and GPU baselines")
+    parser.add_argument(
+        "--pool-size", type=int, default=0,
+        help="triplet-pool refill batch; adds a ParSecureML+pool row when > 0",
+    )
+    parser.add_argument(
+        "--static-mask-reuse", action="store_true",
+        help="cache masked differences of static operands in the pooled row",
+    )
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the result rows as JSON")
     args = parser.parse_args(argv)
 
     results = []
-    for name, cfg in _configs(args.system):
+    rows = []
+    for name, cfg in _configs(
+        args.system, pool_size=args.pool_size, static_mask_reuse=args.static_mask_reuse
+    ):
         if args.inference:
             res = run_secure_inference(
                 args.model, args.dataset, cfg,
@@ -74,9 +97,21 @@ def main(argv: list[str] | None = None) -> int:
         scope = f"{args.batches} measured batches" if args.no_extrapolate else (
             f"one paper-scale epoch ({res.spec.paper_batches} batches)"
         )
-        print(f"{name:>12}:  offline {res.offline_s(n):10.3f}s   "
+        label = f"{name:>16}" if args.pool_size or args.static_mask_reuse else f"{name:>12}"
+        print(f"{label}:  offline {res.offline_s(n):10.3f}s   "
               f"online {res.online_s(n):10.3f}s   total {res.total_s(n):10.3f}s   [{scope}]")
         results.append((name, res.total_s(n)))
+        rows.append({
+            "system": name,
+            "model": args.model,
+            "dataset": args.dataset,
+            "offline_s": res.offline_s(n),
+            "online_s": res.online_s(n),
+            "total_s": res.total_s(n),
+            "scope": scope,
+            "pool_size": cfg.pool_size,
+            "static_mask_reuse": cfg.static_mask_reuse,
+        })
 
     if args.plain and not args.inference:
         for device in ("cpu", "gpu"):
@@ -94,6 +129,13 @@ def main(argv: list[str] | None = None) -> int:
         for name, total in results[1:]:
             if total > 0:
                 print(f"{base_name} / {name} = {base / total:.1f}x")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump({"argv": argv if argv is not None else sys.argv[1:],
+                       "rows": rows}, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 

@@ -52,6 +52,22 @@ class FrameworkConfig:
     # triplets, stronger privacy, compression never fires).
     fresh_triplets: bool = False
 
+    # Batched offline provisioning.  pool_size > 0 banks pre-generated
+    # triplets per op-stream shape, refilled in fused dealer batches of
+    # at most pool_size (one stacked ring GEMM + one vectorised mask
+    # draw + one upload per refill) — the --pool-size bench knob.  0
+    # disables the pool: every triplet is generated synchronously at
+    # first use, the historical behaviour.
+    pool_size: int = 0
+
+    # Static-operand mask reuse.  When on, operands marked static (layer
+    # weights) keep their exchanged masked difference F cached between
+    # secure matmuls, skipping both the combine and the inter-server
+    # transmission, and triplet Z shares stay staged on the server GPUs.
+    # Pure cost-level optimisation: the online values are unchanged.
+    # Ignored under fresh_triplets (masks must not persist there).
+    static_mask_reuse: bool = False
+
     # CPU optimisations (Section 5.1).  cpu_parallel governs the servers'
     # online helpers; client_parallel governs the client's encrypt path.
     # The client code is infrastructure shared by both evaluated systems
@@ -93,6 +109,8 @@ class FrameworkConfig:
             )
         if self.n_streams < 1:
             raise ConfigError(f"n_streams must be >= 1, got {self.n_streams}")
+        if self.pool_size < 0:
+            raise ConfigError(f"pool_size must be >= 0, got {self.pool_size}")
 
     # -- preset constructors ----------------------------------------------------
 

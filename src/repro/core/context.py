@@ -31,8 +31,10 @@ from repro.core.config import FrameworkConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.reliable import ResilientChannel
 from repro.fixedpoint.encoding import FixedPointEncoder
-from repro.fixedpoint.ring import ring_matmul, ring_mul, ring_sub
+from repro.fixedpoint.ring import ring_matmul, ring_matmul_batched, ring_mul, ring_sub
 from repro.mpc.comparison import ComparisonBundle, ComparisonDealer
+from repro.mpc.pool import TripletPool, TripletRequest
+from repro.mpc.prandom import ThreadSafeGeneratorPool, parallel_uniform_ring
 from repro.mpc.shares import SharePair, share_secret
 from repro.mpc.triplets import ElementwiseTriplet, MatrixTriplet
 from repro.pipeline.profiler import StepProfiler
@@ -221,6 +223,43 @@ class SecureContext:
         self._matrix_triplets: dict[str, MatrixTriplet] = {}
         self._elementwise_triplets: dict[str, ElementwiseTriplet] = {}
 
+        # Batched offline provisioning (pool_size > 0): a shape-keyed
+        # bank of pre-generated triplets, refilled by the fused batch
+        # generators below on the offline clock.  Label-cache misses
+        # draw from the pool before falling back to synchronous
+        # generation; fresh_triplets bypasses the pool entirely.
+        self._mask_pool = ThreadSafeGeneratorPool(
+            min(8, cfg.cpu_spec.n_cores), seed=self.seeds.seed_for("triplet-pool")
+        )
+        self.triplet_pool = (
+            TripletPool(
+                self._gen_matrix_triplet_batch,
+                self._gen_elementwise_triplet_batch,
+                max_batch=cfg.pool_size,
+                telemetry=self.telemetry,
+            )
+            if cfg.pool_size > 0
+            else None
+        )
+
+        # Online-step epoch for the per-batch consumption guard: drivers
+        # call begin_batch() before each step; cached triplets then issue
+        # one TripletShare per (epoch, party), so a second consume of the
+        # same op stream within a step raises a labelled ProtocolError.
+        self._batch_epoch: int | None = None
+
+        # Static-operand mask reuse (config.static_mask_reuse): cached
+        # combined masked differences keyed by (op label, side), and
+        # device-resident staged buffers keyed by (party, key).
+        self._masked_cache: dict[tuple[str, str], tuple[int, int, np.ndarray]] = {}
+        self._device_stash: dict[tuple[int, str], tuple[tuple, object, object]] = {}
+        self._mask_reuse_hits = self.telemetry.counter(
+            "mpc.mask_reuse.hits", "masked-difference exchanges skipped via static reuse"
+        )
+        self._mask_reuse_bytes = self.telemetry.counter(
+            "mpc.mask_reuse.bytes_saved", "inter-server bytes not sent thanks to mask reuse"
+        )
+
         # offline-material accounting
         self._triplets_generated = self.telemetry.counter(
             "mpc.triplets_generated", "Beaver triplets produced offline, by kind and shape"
@@ -390,6 +429,191 @@ class SecureContext:
         self._triplets_generated.inc(1, kind="elementwise", shape=str(tuple(shape)))
         return triplet
 
+    # --------------------------------------------- batched offline provisioning
+
+    def _pool_uniform(self, shape: tuple[int, ...]) -> np.ndarray:
+        """One vectorised mask draw for a whole refill stack (Section 5.1)."""
+        if len(shape) >= 2:
+            return parallel_uniform_ring(shape, self._mask_pool)
+        return self._dealer_rng.integers(0, 2**64, size=shape, dtype=np.uint64)
+
+    def _client_matmul_batched(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Fused ``Z = U x V`` over a (B,m,k) x (B,k,n) refill stack.
+
+        One strided-batched launch on the client GPU (one PCIe round
+        trip for the whole stack) when profitable; otherwise B
+        sequential products on the client CPU.
+        """
+        count, m, k = u.shape
+        n = v.shape[2]
+        decision = self.profiler.place_gemm_batched(count, m, k, n)
+        if decision.placement == "gpu" and self.client_gpu is not None:
+            gpu = self.client_gpu
+            u_buf, t_u = gpu.h2d(u, label="pool:h2d:U")
+            v_buf, t_v = gpu.h2d(v, label="pool:h2d:V")
+            z_buf, t_z = gpu.gemm_ring_batched(u_buf, v_buf, deps=(t_u, t_v), label="pool:U@V")
+            z, _ = gpu.d2h(z_buf, deps=(t_z,), label="pool:d2h:Z")
+            for b in (u_buf, v_buf, z_buf):
+                gpu.free(b)
+            return z
+        z = ring_matmul_batched(u, v)
+        self.client_cpu.run(
+            count * self.config.cpu_spec.gemm_seconds(m, k, n), label="pool:U@V", kind="gemm"
+        )
+        return z
+
+    def _gen_matrix_triplet_batch(self, shape_a, shape_b, count: int) -> list[MatrixTriplet]:
+        """Fused offline generation of ``count`` same-shaped matrix triplets.
+
+        The whole refill is one vectorised mask draw, one batched ring
+        GEMM, one share split and one upload message per server — the
+        per-triplet fixed costs (curand warm-up, kernel launches, PCIe
+        and channel latency) are paid once per batch instead of once
+        per triplet.
+        """
+        m, k = tuple(shape_a)
+        n = tuple(shape_b)[1]
+        with self.telemetry.span("pool.refill", clock="offline", kind="matrix", count=count):
+            u = self._pool_uniform((count, m, k))
+            v = self._pool_uniform((count, k, n))
+            self._charge_client_rng(u.nbytes + v.nbytes, "pool:rng")
+            z = self._client_matmul_batched(u, v)
+            u_pair = self._share_with_timing(u, "pool:U")
+            v_pair = self._share_with_timing(v, "pool:V")
+            z_pair = self._share_with_timing(z, "pool:Z")
+            self._upload(u.nbytes + v.nbytes + z.nbytes, "pool:upload")
+        self._triplets_generated.inc(
+            count, kind="matrix", shape=f"{tuple(shape_a)}x{tuple(shape_b)}", source="pool"
+        )
+        return [
+            MatrixTriplet(
+                u=SharePair(u_pair.share0[i], u_pair.share1[i]),
+                v=SharePair(v_pair.share0[i], v_pair.share1[i]),
+                z=SharePair(z_pair.share0[i], z_pair.share1[i]),
+                shape_a=tuple(shape_a),
+                shape_b=tuple(shape_b),
+            )
+            for i in range(count)
+        ]
+
+    def _gen_elementwise_triplet_batch(self, shape, count: int) -> list[ElementwiseTriplet]:
+        """Fused generation of ``count`` same-shaped elementwise triplets."""
+        stack = (count, *tuple(shape))
+        with self.telemetry.span("pool.refill", clock="offline", kind="elementwise", count=count):
+            u = self._pool_uniform(stack)
+            v = self._pool_uniform(stack)
+            self._charge_client_rng(u.nbytes + v.nbytes, "pool:rng")
+            z = ring_mul(u, v)
+            self._charge_client_elementwise(3 * u.nbytes, "pool:mul")
+            u_pair = self._share_with_timing(u, "pool:U")
+            v_pair = self._share_with_timing(v, "pool:V")
+            z_pair = self._share_with_timing(z, "pool:Z")
+            self._upload(3 * u.nbytes, "pool:upload")
+        self._triplets_generated.inc(
+            count, kind="elementwise", shape=str(tuple(shape)), source="pool"
+        )
+        return [
+            ElementwiseTriplet(
+                u=SharePair(u_pair.share0[i], u_pair.share1[i]),
+                v=SharePair(v_pair.share0[i], v_pair.share1[i]),
+                z=SharePair(z_pair.share0[i], z_pair.share1[i]),
+                shape=tuple(shape),
+            )
+            for i in range(count)
+        ]
+
+    def provision_offline(self, requests: list[TripletRequest]) -> int:
+        """Bank triplets for ``requests`` in the pool (no-op without one)."""
+        if self.triplet_pool is None or self.config.fresh_triplets or not requests:
+            return 0
+        return self.triplet_pool.provision(requests)
+
+    def provision_for(self, model, batch_size: int, *, training: bool = True) -> int:
+        """Provision the pool from a model's declared ``offline_plan``.
+
+        Called by the drivers after dataset sharing, on the offline
+        clock — refills therefore overlap the subsequent online steps by
+        the two-clock construction.  Returns triplets banked (0 when the
+        pool is off, fresh_triplets is on, or the model has no plan).
+        """
+        if self.triplet_pool is None or self.config.fresh_triplets:
+            return 0
+        plan = getattr(model, "offline_plan", None)
+        if plan is None:
+            return 0
+        return self.provision_offline(plan(batch_size, training=training))
+
+    def begin_batch(self) -> None:
+        """Advance the online-step epoch (per-batch consumption guard)."""
+        self._batch_epoch = 0 if self._batch_epoch is None else self._batch_epoch + 1
+
+    # ------------------------------------------------ static-operand mask reuse
+
+    @property
+    def mask_reuse_enabled(self) -> bool:
+        """Mask reuse needs stable masks, so fresh_triplets disables it."""
+        return self.config.static_mask_reuse and not self.config.fresh_triplets
+
+    def reuse_masked(self, label: str, side: str, tensor, triplet) -> np.ndarray | None:
+        """Cached combined masked difference for a static operand, or None.
+
+        A hit means both the operand's values (tensor uid) and the mask
+        (triplet uid) are unchanged since the difference was exchanged —
+        the combined matrix is therefore bit-identical, and the servers
+        skip the subtract, the transmission and the combine entirely.
+        """
+        if not self.mask_reuse_enabled or not getattr(tensor, "static", False):
+            return None
+        entry = self._masked_cache.get((label, side))
+        if entry is None:
+            return None
+        tensor_uid, triplet_uid, combined = entry
+        if tensor_uid != tensor.uid or triplet_uid != triplet.uid:
+            return None
+        self._mask_reuse_hits.inc(1, side=side)
+        # Each server skips sending its local difference to the other.
+        self._mask_reuse_bytes.inc(2 * combined.nbytes, side=side)
+        return combined
+
+    def store_masked(self, label: str, side: str, tensor, triplet, combined: np.ndarray) -> None:
+        """Remember an exchanged masked difference for a static operand."""
+        if not self.mask_reuse_enabled or not getattr(tensor, "static", False):
+            return
+        self._masked_cache[(label, side)] = (tensor.uid, triplet.uid, combined)
+
+    def stash_device_buffer(self, party: int, key: str, version: tuple, array, deps=(), label="stage"):
+        """Keep ``array`` resident on server ``party``'s GPU across batches.
+
+        Returns ``(buffer, upload_task)``; re-uploads only when
+        ``version`` changes (freeing the stale buffer first).
+        """
+        gpu = self.server_gpu[party]
+        entry = self._device_stash.get((party, key))
+        if entry is not None:
+            old_version, buf, task = entry
+            if old_version == version:
+                return buf, task
+            gpu.free(buf)
+        buf, task = gpu.h2d(array, deps=deps, label=label)
+        self._device_stash[(party, key)] = (version, buf, task)
+        return buf, task
+
+    def reset_mask_reuse(self) -> None:
+        """Drop reuse caches and staged device buffers.
+
+        Called on recovery paths (server restart, inference retry): a
+        restarted server has lost its GPU memory, so nothing previously
+        staged or exchanged can be assumed present.
+        """
+        self._masked_cache.clear()
+        for (party, _key), (_version, buf, _task) in list(self._device_stash.items()):
+            gpu = self.server_gpu[party]
+            if gpu is not None:
+                gpu.free(buf)
+        self._device_stash.clear()
+
+    # ---------------------------------------------------- per-label triplet API
+
     def get_matrix_triplet(self, label: str, shape_a, shape_b) -> MatrixTriplet:
         """The triplet for op stream ``label``; cached unless fresh_triplets.
 
@@ -402,26 +626,45 @@ class SecureContext:
             1, kind="matrix", shape=f"{tuple(shape_a)}x{tuple(shape_b)}"
         )
         if self.config.fresh_triplets:
-            return self.gen_matrix_triplet(shape_a, shape_b)
+            # Single-use triplets bypass the pool: pooled material is
+            # pre-drawn, which is exactly what fresh_triplets forbids.
+            triplet = self.gen_matrix_triplet(shape_a, shape_b)
+            triplet.begin_use(None, label)
+            return triplet
         cached = self._matrix_triplets.get(label)
         if (
             cached is None
             or cached.shape_a != tuple(shape_a)
             or cached.shape_b != tuple(shape_b)
         ):
-            cached = self.gen_matrix_triplet(shape_a, shape_b)
+            pooled = (
+                self.triplet_pool.take_matrix(tuple(shape_a), tuple(shape_b))
+                if self.triplet_pool is not None
+                else None
+            )
+            # Pool exhaustion (or no pool): synchronous generation.
+            cached = pooled if pooled is not None else self.gen_matrix_triplet(shape_a, shape_b)
             self._matrix_triplets[label] = cached
+        cached.begin_use(self._batch_epoch, label)
         return cached
 
     def get_elementwise_triplet(self, label: str, shape) -> ElementwiseTriplet:
         """Elementwise-triplet analogue of :meth:`get_matrix_triplet`."""
         self._triplets_consumed.inc(1, kind="elementwise", shape=str(tuple(shape)))
         if self.config.fresh_triplets:
-            return self.gen_elementwise_triplet(shape)
+            triplet = self.gen_elementwise_triplet(shape)
+            triplet.begin_use(None, label)
+            return triplet
         cached = self._elementwise_triplets.get(label)
         if cached is None or cached.shape != tuple(shape):
-            cached = self.gen_elementwise_triplet(shape)
+            pooled = (
+                self.triplet_pool.take_elementwise(tuple(shape))
+                if self.triplet_pool is not None
+                else None
+            )
+            cached = pooled if pooled is not None else self.gen_elementwise_triplet(shape)
             self._elementwise_triplets[label] = cached
+        cached.begin_use(self._batch_epoch, label)
         return cached
 
     def gen_comparison_bundle(self, shape, label: str | None = None) -> ComparisonBundle | None:

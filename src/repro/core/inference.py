@@ -80,6 +80,11 @@ def secure_predict(
     with maybe_span(telemetry, "infer.share_dataset", clock="offline"):
         xs = SharedTensor.from_plain(ctx, x, label="infer/x")
     sharing_offline = ctx.since(start).offline_s
+    # Batched triplet provisioning on the offline clock (pool_size > 0):
+    # the forward-only plan covers exactly the streams inference touches.
+    provision = getattr(ctx, "provision_for", None)
+    if provision is not None:
+        provision(model, batch_size, training=False)
     outputs = []
     batch_online = []
     batches = 0
@@ -91,6 +96,11 @@ def secure_predict(
         while True:
             if injector is not None:
                 injector.advance_step(1)
+            # New online step per attempt: cached triplets issue fresh
+            # shares (a retried request replays the same op streams).
+            begin_batch = getattr(ctx, "begin_batch", None)
+            if begin_batch is not None:
+                begin_batch()
             try:
                 with maybe_span(telemetry, "infer.batch", clock="online", batch=str(batches)):
                     pred = model.forward(xs.row_slice(lo, lo + batch_size), training=False)
@@ -107,6 +117,11 @@ def secure_predict(
                         injector.restart(failure.party)
                     for compressor in getattr(ctx, "compressors", {}).values():
                         compressor.reset_stream_state()
+                    # the restarted server lost its GPU memory and any
+                    # previously exchanged masked differences
+                    reset_reuse = getattr(ctx, "reset_mask_reuse", None)
+                    if reset_reuse is not None:
+                        reset_reuse()
                     if failure.party.startswith("server"):
                         party_id = int(failure.party[-1])
                         ctx.server_cpu[party_id].run(

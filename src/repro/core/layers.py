@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core import ops
 from repro.core.tensor import SharedTensor
+from repro.mpc.pool import TripletRequest, hadamard_stream, matmul_stream
 from repro.simgpu.kernels import col2im, conv_output_size, im2col
 from repro.util.errors import ProtocolError, ShapeError
 
@@ -37,6 +38,18 @@ class SecureLayer:
     def parameters(self) -> list[SharedTensor]:
         return []
 
+    def plan_streams(
+        self, in_shape: tuple[int, ...], *, training: bool
+    ) -> tuple[list[TripletRequest], tuple[int, ...]]:
+        """(triplet demand of one step, output shape) for a given input.
+
+        Drives the pool's batched offline provisioning: the model walks
+        its layers' plans once to learn exactly which triplets one
+        forward (+ backward when ``training``) will request.  The base
+        layer demands nothing and passes the shape through.
+        """
+        return [], in_shape
+
 
 class SecureDense(SecureLayer):
     """Fully connected layer ``Y = X W + b``."""
@@ -50,7 +63,7 @@ class SecureDense(SecureLayer):
         scale = 1.0 / np.sqrt(in_features)
         self.weight = SharedTensor.from_plain(
             ctx, rng.uniform(-scale, scale, size=(in_features, out_features)), label=f"{name}/W"
-        )
+        ).mark_static()
         self.bias = SharedTensor.from_plain(
             ctx, np.zeros((1, out_features)), label=f"{name}/b"
         )
@@ -80,12 +93,23 @@ class SecureDense(SecureLayer):
     def apply_gradients(self, lr: float) -> None:
         if self._grad_w is None or self._grad_b is None:
             raise ProtocolError(f"{self.name}: apply_gradients before backward")
-        self.weight = self.weight - self._grad_w.mul_public(lr)
+        self.weight = (self.weight - self._grad_w.mul_public(lr)).mark_static()
         self.bias = self.bias - self._grad_b.mul_public(lr)
         self._grad_w = self._grad_b = None
 
     def parameters(self) -> list[SharedTensor]:
         return [self.weight, self.bias]
+
+    def plan_streams(
+        self, in_shape: tuple[int, ...], *, training: bool
+    ) -> tuple[list[TripletRequest], tuple[int, ...]]:
+        b = in_shape[0]
+        m, n = self.in_features, self.out_features
+        reqs = [matmul_stream((b, m), (m, n))]  # fwd
+        if training:
+            reqs.append(matmul_stream((m, b), (b, n)))  # dW
+            reqs.append(matmul_stream((b, n), (n, m)))  # dX
+        return reqs, (b, n)
 
 
 class SecureActivation(SecureLayer):
@@ -111,6 +135,18 @@ class SecureActivation(SecureLayer):
         # derivative is the 0/1 mask in both supported kinds, so the
         # chain rule is one fixed x indicator product (single scale).
         return ops.secure_elementwise_mul(delta, self._mask, label=f"{self.name}/bwd")
+
+    def plan_streams(
+        self, in_shape: tuple[int, ...], *, training: bool
+    ) -> tuple[list[TripletRequest], tuple[int, ...]]:
+        # Both kinds consume one elementwise triplet forward (mask
+        # product) and one backward; the comparisons are not pooled.
+        if len(in_shape) < 2:
+            return [], in_shape
+        reqs = [hadamard_stream(in_shape)]
+        if training:
+            reqs.append(hadamard_stream(in_shape))
+        return reqs, in_shape
 
 
 class SecureConv2D(SecureLayer):
@@ -146,7 +182,7 @@ class SecureConv2D(SecureLayer):
             ctx,
             rng.uniform(-1.0, 1.0, size=(fan_in, out_channels)) / np.sqrt(fan_in),
             label=f"{name}/W",
-        )
+        ).mark_static()
         self._cols: SharedTensor | None = None
         self._batch: int = 0
 
@@ -206,11 +242,24 @@ class SecureConv2D(SecureLayer):
     def apply_gradients(self, lr: float) -> None:
         if getattr(self, "_grad_w", None) is None:
             raise ProtocolError(f"{self.name}: apply_gradients before backward")
-        self.weight = self.weight - self._grad_w.mul_public(lr)
+        self.weight = (self.weight - self._grad_w.mul_public(lr)).mark_static()
         self._grad_w = None
 
     def parameters(self) -> list[SharedTensor]:
         return [self.weight]
+
+    def plan_streams(
+        self, in_shape: tuple[int, ...], *, training: bool
+    ) -> tuple[list[TripletRequest], tuple[int, ...]]:
+        b = in_shape[0]
+        rows = b * self.out_h * self.out_w  # im2col rows
+        fan_in = self.kernel * self.kernel * self.in_shape[2]
+        oc = self.out_channels
+        reqs = [matmul_stream((rows, fan_in), (fan_in, oc))]  # fwd
+        if training:
+            reqs.append(matmul_stream((fan_in, rows), (rows, oc)))  # dW
+            reqs.append(matmul_stream((rows, oc), (oc, fan_in)))  # dX
+        return reqs, (b, self.out_h * self.out_w * oc)
 
 
 class SecureAvgPool2D(SecureLayer):
@@ -277,6 +326,12 @@ class SecureAvgPool2D(SecureLayer):
             ctx=self.ctx, shares=tuple(shares), kind="fixed", tasks=scaled.tasks
         )
 
+    def plan_streams(
+        self, in_shape: tuple[int, ...], *, training: bool
+    ) -> tuple[list[TripletRequest], tuple[int, ...]]:
+        # Linear layer: no triplets, just shrink the feature map.
+        return [], (in_shape[0], int(np.prod(self.out_shape)))
+
 
 class SecureRNNCell(SecureLayer):
     """Elman cell ``h' = act(x W_x + h W_h + b)`` unrolled by the model."""
@@ -284,16 +339,17 @@ class SecureRNNCell(SecureLayer):
     def __init__(self, ctx, in_features: int, hidden: int, *, name: str = "rnncell"):
         self.ctx = ctx
         self.name = name
+        self.in_features = in_features
         self.hidden = hidden
         rng = ctx.seeds.generator(f"init-{name}")
         sx = 1.0 / np.sqrt(in_features)
         sh = 1.0 / np.sqrt(hidden)
         self.w_x = SharedTensor.from_plain(
             ctx, rng.uniform(-sx, sx, size=(in_features, hidden)), label=f"{name}/Wx"
-        )
+        ).mark_static()
         self.w_h = SharedTensor.from_plain(
             ctx, rng.uniform(-sh, sh, size=(hidden, hidden)), label=f"{name}/Wh"
-        )
+        ).mark_static()
         self.bias = SharedTensor.from_plain(ctx, np.zeros((1, hidden)), label=f"{name}/b")
         self._tape: list[dict] = []
 
@@ -338,8 +394,8 @@ class SecureRNNCell(SecureLayer):
         self._tape = []
 
     def apply_gradients(self, lr: float) -> None:
-        self.w_x = self.w_x - self._grad_wx.mul_public(lr)
-        self.w_h = self.w_h - self._grad_wh.mul_public(lr)
+        self.w_x = (self.w_x - self._grad_wx.mul_public(lr)).mark_static()
+        self.w_h = (self.w_h - self._grad_wh.mul_public(lr)).mark_static()
         self.bias = self.bias - self._grad_b.mul_public(lr)
 
     def parameters(self) -> list[SharedTensor]:

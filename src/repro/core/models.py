@@ -34,6 +34,7 @@ from repro.core.layers import (
     SecureRNNCell,
 )
 from repro.core.tensor import SharedTensor
+from repro.mpc.pool import TripletRequest, hadamard_stream, matmul_stream
 from repro.util.errors import ProtocolError, ShapeError
 
 
@@ -71,6 +72,26 @@ class SecureModel:
 
     def parameters(self) -> list[SharedTensor]:
         return [p for layer in self.layers for p in layer.parameters()]
+
+    def offline_plan(
+        self, batch_size: int, *, training: bool = True
+    ) -> list[TripletRequest]:
+        """Exact per-step triplet demand for batched offline provisioning.
+
+        Walks the layer stack's :meth:`SecureLayer.plan_streams` with
+        shape propagation.  Because op streams cache one triplet per
+        label, this is also the *total* demand of a run (under the
+        default ``fresh_triplets=False``), so the pool can pre-generate
+        everything in fused batches before the first online step.
+        Models whose ``train_batch`` departs from the plain
+        forward/backward walk override this.
+        """
+        requests: list[TripletRequest] = []
+        shape: tuple[int, ...] = (batch_size,)
+        for layer in self.layers:
+            layer_reqs, shape = layer.plan_streams(shape, training=training)
+            requests.extend(layer_reqs)
+        return requests
 
 
 class SecureMLP(SecureModel):
@@ -159,9 +180,20 @@ class SecureSVM(SecureModel):
         grad_w = ops.secure_matmul(x.T, coeff, label="svm/dW").mul_public(1.0 / batch)
         grad_w = grad_w + self.dense.weight.mul_public(self.reg)
         grad_b = coeff.sum_rows().mul_public(1.0 / batch)
-        self.dense.weight = self.dense.weight - grad_w.mul_public(lr)
+        self.dense.weight = (self.dense.weight - grad_w.mul_public(lr)).mark_static()
         self.dense.bias = self.dense.bias - grad_b.mul_public(lr)
         return scores
+
+    def offline_plan(
+        self, batch_size: int, *, training: bool = True
+    ) -> list[TripletRequest]:
+        b, d = batch_size, self.dense.in_features
+        requests = [matmul_stream((b, d), (d, 1))]  # scores
+        if training:
+            requests.append(hadamard_stream((b, 1)))  # svm/ys
+            requests.append(hadamard_stream((b, 1)))  # svm/coeff
+            requests.append(matmul_stream((d, b), (b, 1)))  # svm/dW
+        return requests
 
 
 class SecureRNN(SecureModel):
@@ -210,3 +242,26 @@ class SecureRNN(SecureModel):
         self.readout.apply_gradients(lr)
         self.cell.apply_gradients(lr)
         return pred
+
+    def offline_plan(
+        self, batch_size: int, *, training: bool = True
+    ) -> list[TripletRequest]:
+        b = batch_size
+        sf, h = self.step_features, self.cell.hidden
+        n_out = self.readout.out_features
+        requests: list[TripletRequest] = []
+        for _t in range(self.n_steps):
+            requests.append(matmul_stream((b, sf), (sf, h)))  # x@Wx
+            requests.append(matmul_stream((b, h), (h, h)))  # h@Wh
+            requests.append(hadamard_stream((b, h)))  # relu mask product
+        requests.append(matmul_stream((b, h), (h, n_out)))  # readout fwd
+        if training:
+            requests.append(matmul_stream((h, b), (b, n_out)))  # readout dW
+            requests.append(matmul_stream((b, n_out), (n_out, h)))  # readout dX
+            for t in range(self.n_steps):
+                requests.append(hadamard_stream((b, h)))  # bptt mask
+                requests.append(matmul_stream((sf, b), (b, h)))  # dWx
+                requests.append(matmul_stream((h, b), (b, h)))  # dWh
+                if t + 1 < self.n_steps:
+                    requests.append(matmul_stream((b, h), (h, h)))  # dH
+        return requests

@@ -19,6 +19,7 @@ live in :mod:`repro.core.ops`.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field, replace
 from typing import Literal, Optional
 
@@ -31,6 +32,17 @@ from repro.util.errors import ProtocolError, ShapeError
 
 TensorKind = Literal["fixed", "indicator"]
 
+# Monotonic value identity.  The mask-reuse cache keys entries by this
+# uid; a uid is never recycled, so a tensor that replaced another (e.g.
+# an updated weight) can never be mistaken for the old value.  Local
+# views that keep the underlying values (transpose, reshape) keep the
+# uid; operations that change values must issue a fresh one.
+_TENSOR_UIDS = itertools.count(1)
+
+
+def _next_tensor_uid() -> int:
+    return next(_TENSOR_UIDS)
+
 
 @dataclass
 class SharedTensor:
@@ -40,6 +52,8 @@ class SharedTensor:
     shares: tuple[np.ndarray, np.ndarray]
     kind: TensorKind = "fixed"
     tasks: tuple[Optional[Task], Optional[Task]] = (None, None)
+    static: bool = False
+    uid: int = field(default_factory=_next_tensor_uid, compare=False)
 
     def __post_init__(self):
         s0, s1 = self.shares
@@ -79,6 +93,17 @@ class SharedTensor:
         if party_id not in (0, 1):
             raise ProtocolError(f"party_id must be 0 or 1, got {party_id}")
         return self.shares[party_id]
+
+    def mark_static(self) -> "SharedTensor":
+        """Declare the value static across op invocations (layer weights).
+
+        Static operands are eligible for the context's mask-reuse cache
+        under ``config.static_mask_reuse``: their exchanged masked
+        difference and device-staged buffers persist between secure
+        matmuls until the value changes (new uid).  Returns ``self``.
+        """
+        self.static = True
+        return self
 
     def decode(self) -> np.ndarray:
         """Client-side reconstruction to floats (monitoring / final output)."""
@@ -209,6 +234,8 @@ class SharedTensor:
                 np.ascontiguousarray(self.shares[0][lo:hi]),
                 np.ascontiguousarray(self.shares[1][lo:hi]),
             ),
+            static=False,
+            uid=_next_tensor_uid(),
         )
 
     def sum_rows(self) -> "SharedTensor":
@@ -221,6 +248,8 @@ class SharedTensor:
                 ring_sum(self.shares[0], axis=0).reshape(1, -1),
                 ring_sum(self.shares[1], axis=0).reshape(1, -1),
             ),
+            static=False,
+            uid=_next_tensor_uid(),
         )
 
     def broadcast_rows(self, n_rows: int) -> "SharedTensor":
@@ -233,4 +262,6 @@ class SharedTensor:
                 np.ascontiguousarray(np.broadcast_to(self.shares[0], (n_rows, self.shape[1]))),
                 np.ascontiguousarray(np.broadcast_to(self.shares[1], (n_rows, self.shape[1]))),
             ),
+            static=False,
+            uid=_next_tensor_uid(),
         )

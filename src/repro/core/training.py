@@ -161,6 +161,11 @@ class SecureTrainer:
             # interrupted exchange leaves delta histories desynchronised
             for compressor in getattr(ctx, "compressors", {}).values():
                 compressor.reset_stream_state()
+            # a restarted server lost its GPU memory: nothing staged or
+            # previously exchanged can be assumed present on replay
+            reset_reuse = getattr(ctx, "reset_mask_reuse", None)
+            if reset_reuse is not None:
+                reset_reuse()
             # simulated reboot: the recovering server is busy for the
             # restart penalty before it can replay anything
             if failure.party.startswith("server"):
@@ -214,6 +219,13 @@ class SecureTrainer:
             ys = SharedTensor.from_plain(self.ctx, y, label="dataset/y")
         report.sharing_offline_s = self.ctx.since(start_mark).offline_s
 
+        # ---- offline: batched triplet provisioning (pool_size > 0) -----------
+        # Runs on the offline clock, so refills overlap the online steps
+        # below by the two-clock construction; counted in setup_offline_s.
+        provision = getattr(self.ctx, "provision_for", None)
+        if provision is not None:
+            provision(self.model, batch_size, training=True)
+
         # ---- online: iterate batches over the shares -------------------------
         offsets = [
             lo
@@ -229,6 +241,11 @@ class SecureTrainer:
             lo = offsets[cursor]
             if injector is not None:
                 injector.advance_step(1)
+            # New online step (also on replay): cached triplets issue
+            # fresh shares, and double-consume within the step raises.
+            begin_batch = getattr(self.ctx, "begin_batch", None)
+            if begin_batch is not None:
+                begin_batch()
             batch_mark = self.ctx.mark()
             try:
                 with maybe_span(

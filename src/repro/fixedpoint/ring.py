@@ -48,18 +48,27 @@ def _as_ring(x: np.ndarray) -> np.ndarray:
     return arr.astype(RING_DTYPE, copy=False)
 
 
-def ring_add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """a + b in Z_{2^64} (elementwise, broadcasting allowed)."""
+def ring_add(a: np.ndarray, b: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+    """a + b in Z_{2^64} (elementwise, broadcasting allowed).
+
+    ``out=`` writes the result into an existing uint64 array (which may
+    alias an operand), skipping the intermediate allocation — the fast
+    path the triplet pool and the GEMM scheduler use on their hot loops.
+    """
     a, b = _as_ring(a), _as_ring(b)
     with np.errstate(over="ignore"):
-        return a + b
+        if out is None:
+            return a + b
+        return np.add(a, b, out=out)
 
 
-def ring_sub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """a - b in Z_{2^64}."""
+def ring_sub(a: np.ndarray, b: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+    """a - b in Z_{2^64} (``out=`` as in :func:`ring_add`)."""
     a, b = _as_ring(a), _as_ring(b)
     with np.errstate(over="ignore"):
-        return a - b
+        if out is None:
+            return a - b
+        return np.subtract(a, b, out=out)
 
 
 def ring_neg(a: np.ndarray) -> np.ndarray:
@@ -69,11 +78,13 @@ def ring_neg(a: np.ndarray) -> np.ndarray:
         return np.uint64(0) - a
 
 
-def ring_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Elementwise a * b in Z_{2^64}."""
+def ring_mul(a: np.ndarray, b: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+    """Elementwise a * b in Z_{2^64} (``out=`` as in :func:`ring_add`)."""
     a, b = _as_ring(a), _as_ring(b)
     with np.errstate(over="ignore"):
-        return a * b
+        if out is None:
+            return a * b
+        return np.multiply(a, b, out=out)
 
 
 def ring_sum(a: np.ndarray, axis=None) -> np.ndarray:
@@ -122,5 +133,51 @@ def ring_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     result = np.zeros((a.shape[0], b.shape[1]), dtype=RING_DTYPE)
     for start in range(0, k, _MAX_EXACT_K):
         stop = min(start + _MAX_EXACT_K, k)
-        result = ring_add(result, _ring_matmul_exact_chunk(a[:, start:stop], b[start:stop, :]))
+        ring_add(result, _ring_matmul_exact_chunk(a[:, start:stop], b[start:stop, :]), out=result)
+    return result
+
+
+def _ring_matmul_batched_chunk(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact stacked ring matmul, inner dimension <= _MAX_EXACT_K.
+
+    ``a`` is (B, m, k), ``b`` is (B, k, n); the ten limb products become
+    ten *batched* ``np.matmul`` calls (one BLAS round trip each for the
+    whole stack) instead of ``10 B`` separate dgemms — the dealer-side
+    fusion the offline pool relies on.
+    """
+    a_limbs = _limbs(a)
+    b_limbs = _limbs(b)
+    result = np.zeros((a.shape[0], a.shape[1], b.shape[2]), dtype=RING_DTYPE)
+    with np.errstate(over="ignore"):
+        for i in range(4):
+            for j in range(4 - i):
+                partial = np.matmul(a_limbs[i], b_limbs[j])
+                shifted = partial.astype(RING_DTYPE)
+                np.left_shift(shifted, np.uint64(_LIMB_BITS * (i + j)), out=shifted)
+                ring_add(result, shifted, out=result)
+    return result
+
+
+def ring_matmul_batched(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Stacked matrix product ``a[i] @ b[i]`` in Z_{2^64} for all i.
+
+    ``a`` is (B, m, k) and ``b`` is (B, k, n); returns (B, m, n).  Exact
+    via the same limb decomposition as :func:`ring_matmul`, with the B
+    products fused into batched BLAS calls.  Inner dimensions beyond
+    2^20 are chunked exactly as in the 2-D case.
+    """
+    a, b = _as_ring(a), _as_ring(b)
+    if a.ndim != 3 or b.ndim != 3:
+        raise ValueError(f"ring_matmul_batched needs 3-D stacks, got {a.shape} and {b.shape}")
+    if a.shape[0] != b.shape[0] or a.shape[2] != b.shape[1]:
+        raise ValueError(f"stacked shapes incompatible for matmul: {a.shape} x {b.shape}")
+    k = a.shape[2]
+    if k <= _MAX_EXACT_K:
+        return _ring_matmul_batched_chunk(a, b)
+    result = np.zeros((a.shape[0], a.shape[1], b.shape[2]), dtype=RING_DTYPE)
+    for start in range(0, k, _MAX_EXACT_K):
+        stop = min(start + _MAX_EXACT_K, k)
+        ring_add(
+            result, _ring_matmul_batched_chunk(a[:, :, start:stop], b[:, start:stop, :]), out=result
+        )
     return result

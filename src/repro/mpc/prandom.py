@@ -95,7 +95,7 @@ def _row_blocks(n_rows: int, n_workers: int) -> list[tuple[int, int]]:
 
 
 def parallel_uniform_ring(
-    shape: tuple[int, int],
+    shape: tuple[int, ...],
     pool: ThreadSafeGeneratorPool,
     *,
     executor: ThreadPoolExecutor | None = None,
@@ -106,12 +106,20 @@ def parallel_uniform_ring(
     the call is deterministic given the pool's seed and shape, and no two
     workers ever write the same cache line.
 
+    ``shape`` may also be a stacked (B, m, k) triple — the triplet pool's
+    fused mask draw: the stack is treated as one (B*m, k) matrix, so a
+    whole refill batch is a single vectorised draw (one partitioning,
+    one pass) instead of B separate ones.
+
     If ``executor`` is omitted the blocks run sequentially (still using
     the per-worker streams, so results are identical either way — a
     property the tests pin down).
     """
-    n_rows, n_cols = shape
-    out = np.empty(shape, dtype=np.uint64)
+    if len(shape) < 2:
+        raise ConfigError(f"parallel_uniform_ring needs at least a 2-D shape, got {shape}")
+    n_cols = shape[-1]
+    n_rows = int(np.prod(shape[:-1], dtype=np.int64))
+    out = np.empty((n_rows, n_cols), dtype=np.uint64)
     blocks = _row_blocks(n_rows, pool.n_workers)
 
     def fill(block_id: int, start: int, stop: int) -> None:
@@ -125,4 +133,4 @@ def parallel_uniform_ring(
         futures = [executor.submit(fill, bid, s, t) for bid, (s, t) in enumerate(blocks)]
         for f in futures:
             f.result()
-    return out
+    return out.reshape(shape)

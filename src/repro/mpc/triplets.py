@@ -16,7 +16,8 @@ offline acceleration design.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -26,6 +27,16 @@ from repro.mpc.prandom import ThreadSafeGeneratorPool, parallel_uniform_ring
 from repro.mpc.shares import SharePair, share_secret
 from repro.telemetry.registry import MetricRegistry
 from repro.util.errors import ProtocolError, ShapeError
+
+# Monotonic identity for dealer triplets.  Caches that stage triplet
+# material on devices key their entries by this uid rather than id():
+# a uid is never recycled, so a regenerated triplet can never be
+# mistaken for the object it replaced.
+_TRIPLET_UIDS = itertools.count(1)
+
+
+def _next_triplet_uid() -> int:
+    return next(_TRIPLET_UIDS)
 
 
 @dataclass
@@ -37,16 +48,58 @@ class TripletShare:
     z: np.ndarray
     party_id: int
     consumed: bool = False
+    label: str = ""  # op stream this share was issued to (diagnostics)
 
     def mark_consumed(self) -> None:
         """Flag this share as used; reuse is a protocol violation."""
         if self.consumed:
+            if self.label:
+                raise ProtocolError(
+                    f"Beaver triplet for op stream '{self.label}' consumed twice in one "
+                    f"batch; each op stream may use its cached triplet once per online step"
+                )
             raise ProtocolError("Beaver triplet share reused; each triplet is single-use")
         self.consumed = True
 
 
+class _EpochShareMixin:
+    """Per-batch share bookkeeping shared by the two triplet kinds.
+
+    ``begin_use(epoch, label)`` is called by the context when an op
+    stream fetches its cached triplet.  Within one online step (same
+    epoch) repeated ``share_for`` calls hand back the *same*
+    :class:`TripletShare` objects, so a second op consuming the stream's
+    material in the same batch trips ``mark_consumed`` with a labelled
+    error instead of silently reusing masks.  With no epoch tracking
+    (standalone use, ``fresh_triplets``) every call issues fresh shares,
+    the historical behaviour.
+    """
+
+    def begin_use(self, epoch: int | None, label: str | None = None) -> None:
+        if label:
+            self.label = label
+        if epoch is None or epoch != self._epoch:
+            self._epoch = epoch
+            self._issued.clear()
+
+    def share_for(self, party_id: int) -> TripletShare:
+        """Extract the share bundle destined for one server."""
+        share = self._issued.get(party_id)
+        if share is None:
+            share = TripletShare(
+                u=self.u[party_id],
+                v=self.v[party_id],
+                z=self.z[party_id],
+                party_id=party_id,
+                label=self.label or "",
+            )
+            if self._epoch is not None:
+                self._issued[party_id] = share
+        return share
+
+
 @dataclass
-class MatrixTriplet:
+class MatrixTriplet(_EpochShareMixin):
     """Dealer-side triplet for a matrix product of shape (m,k) x (k,n)."""
 
     u: SharePair
@@ -54,27 +107,24 @@ class MatrixTriplet:
     z: SharePair
     shape_a: tuple[int, int]
     shape_b: tuple[int, int]
-
-    def share_for(self, party_id: int) -> TripletShare:
-        """Extract the share bundle destined for one server."""
-        return TripletShare(
-            u=self.u[party_id], v=self.v[party_id], z=self.z[party_id], party_id=party_id
-        )
+    label: str | None = None
+    uid: int = field(default_factory=_next_triplet_uid, compare=False)
+    _epoch: int | None = field(default=None, repr=False, compare=False)
+    _issued: dict = field(default_factory=dict, repr=False, compare=False)
 
 
 @dataclass
-class ElementwiseTriplet:
+class ElementwiseTriplet(_EpochShareMixin):
     """Dealer-side triplet for an elementwise (Hadamard) product."""
 
     u: SharePair
     v: SharePair
     z: SharePair
     shape: tuple[int, ...]
-
-    def share_for(self, party_id: int) -> TripletShare:
-        return TripletShare(
-            u=self.u[party_id], v=self.v[party_id], z=self.z[party_id], party_id=party_id
-        )
+    label: str | None = None
+    uid: int = field(default_factory=_next_triplet_uid, compare=False)
+    _epoch: int | None = field(default=None, repr=False, compare=False)
+    _issued: dict = field(default_factory=dict, repr=False, compare=False)
 
 
 class TripletDealer:
@@ -126,7 +176,7 @@ class TripletDealer:
 
     def _uniform(self, shape: tuple[int, ...]) -> np.ndarray:
         self._mask_bytes.inc(int(np.prod(shape)) * 8, source="dealer")
-        if self._pool is not None and len(shape) == 2:
+        if self._pool is not None and len(shape) >= 2:
             return parallel_uniform_ring(shape, self._pool)
         return self._rng.integers(0, 2**64, size=shape, dtype=np.uint64)
 

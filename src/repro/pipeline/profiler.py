@@ -138,6 +138,21 @@ class StepProfiler:
         cpu, gpu = self._estimate_gemm(m, k, n, operands_on_gpu=operands_on_gpu)
         return self.place("gemm", (m, k, n, operands_on_gpu), cpu, gpu)
 
+    def place_gemm_batched(self, batch: int, m: int, k: int, n: int) -> PlacementDecision:
+        """Placement for a fused stack of ``batch`` (m,k)x(k,n) products.
+
+        The CPU runs the stack as ``batch`` sequential GEMMs; the GPU
+        pays one strided-batched launch plus the stacked transfers —
+        batching shifts the break-even point toward the GPU, which is
+        the point of the pool's dealer fusion.
+        """
+        cpu = batch * self.cpu_spec.gemm_seconds(m, k, n)
+        gpu = self.gpu_spec.batched_gemm_seconds(batch, m, k, n, tensor_core=self.tensor_core)
+        in_bytes = 8 * batch * (m * k + k * n)
+        out_bytes = 8 * batch * m * n
+        gpu += self.gpu_spec.transfer_seconds(in_bytes) + self.gpu_spec.transfer_seconds(out_bytes)
+        return self.place("gemm_batched", (batch, m, k, n), cpu, gpu)
+
     def place_elementwise(self, nbytes: int, *, operands_on_gpu: bool = False) -> PlacementDecision:
         cpu, gpu = self._estimate_elementwise(nbytes, operands_on_gpu=operands_on_gpu)
         return self.place("elementwise", (nbytes, operands_on_gpu), cpu, gpu)

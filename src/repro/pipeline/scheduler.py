@@ -31,6 +31,7 @@ from repro.fixedpoint.ring import ring_add, ring_sub
 from repro.mpc.triplets import TripletShare
 from repro.simgpu.clock import Task
 from repro.simgpu.device import SimGPU
+from repro.simgpu.memory import DeviceBuffer
 from repro.util.errors import ProtocolError
 
 
@@ -45,6 +46,20 @@ class GemmScheduleResult:
     kernel_seconds: float  # total kernel time charged
 
 
+@dataclass
+class StagedGemmOperands:
+    """Device-resident inputs pre-staged across batches (mask reuse).
+
+    Each entry is an already-uploaded ``(buffer, upload_task)`` pair the
+    scheduler uses *instead of* a fresh H2D transfer.  Staged buffers
+    are owned by whoever staged them (the context's device stash) and
+    are left allocated on return — only fresh transfers are freed here.
+    """
+
+    f: tuple[DeviceBuffer, Task] | None = None  # combined masked F
+    z: tuple[DeviceBuffer, Task] | None = None  # this party's Z share
+
+
 def schedule_secure_gemm(
     gpu: SimGPU,
     party_id: int,
@@ -57,8 +72,13 @@ def schedule_secure_gemm(
     *,
     pipeline: bool = True,
     stream: int = 0,
+    staged: StagedGemmOperands | None = None,
 ) -> GemmScheduleResult:
-    """Run the Eq. 8 GPU operation for one server with/without pipeline 1."""
+    """Run the Eq. 8 GPU operation for one server with/without pipeline 1.
+
+    ``staged`` supplies device-resident F and/or Z buffers (static-mask
+    reuse): their H2D transfers are skipped and they are not freed.
+    """
     if party_id not in (0, 1):
         raise ProtocolError(f"party_id must be 0 or 1, got {party_id}")
     if triplet.party_id != party_id:
@@ -68,11 +88,23 @@ def schedule_secure_gemm(
     triplet.mark_consumed()
 
     # H2D transfers in Fig. 5's order; the engine serialises them.
+    # Staged operands are already resident: no transfer, no PCIe charge.
+    fresh: list[Task] = []
     e_buf, t_e = gpu.h2d(e, deps=deps, label="h2d:E")
     a_buf, t_a = gpu.h2d(a_share, deps=deps, label="h2d:A")
-    f_buf, t_f = gpu.h2d(f, deps=deps, label="h2d:F")
+    fresh.extend([t_e, t_a])
+    if staged is not None and staged.f is not None:
+        f_buf, t_f = staged.f
+    else:
+        f_buf, t_f = gpu.h2d(f, deps=deps, label="h2d:F")
+        fresh.append(t_f)
     b_buf, t_b = gpu.h2d(b_share, deps=deps, label="h2d:B")
-    z_buf, t_z = gpu.h2d(triplet.z, deps=deps, label="h2d:Z")
+    fresh.append(t_b)
+    if staged is not None and staged.z is not None:
+        z_buf, t_z = staged.z
+    else:
+        z_buf, t_z = gpu.h2d(triplet.z, deps=deps, label="h2d:Z")
+        fresh.append(t_z)
     transfers = [t_e, t_a, t_f, t_b, t_z]
     all_transfers_done = transfers if not pipeline else None
 
@@ -94,9 +126,14 @@ def schedule_secure_gemm(
     g1_buf, t_g1 = gpu.gemm_ring(d_buf, f_buf, deps=kdeps(t_d, t_f), stream=stream, label="D@F")
     g2_buf, t_g2 = gpu.gemm_ring(e_buf, b_buf, deps=kdeps(t_g1, t_b), stream=stream, label="E@B")
 
-    # C = G1 + G2 + Z_i.
+    # C = G1 + G2 + Z_i (fused via the ring ops' out= fast path: one
+    # intermediate, written in place by the second add).
+    def _fuse_c(x, y, z):
+        tmp = ring_add(x, y)
+        return ring_add(tmp, z, out=tmp)
+
     c_buf, t_sum = gpu.elementwise(
-        lambda x, y, z: ring_add(ring_add(x, y), z),
+        _fuse_c,
         [g1_buf, g2_buf, z_buf],
         deps=kdeps(t_g1, t_g2, t_z),
         label="C=G1+G2+Z",
@@ -104,10 +141,17 @@ def schedule_secure_gemm(
 
     c_host, t_out = gpu.d2h(c_buf, deps=(t_sum,), label="d2h:C")
 
+    keep = set()
+    if staged is not None:
+        if staged.f is not None:
+            keep.add(id(f_buf))
+        if staged.z is not None:
+            keep.add(id(z_buf))
     for buf in (e_buf, a_buf, f_buf, b_buf, z_buf, d_buf, g1_buf, g2_buf, c_buf):
-        gpu.free(buf)
+        if id(buf) not in keep:
+            gpu.free(buf)
 
-    transfer_seconds = sum(t.duration for t in transfers) + t_out.duration
+    transfer_seconds = sum(t.duration for t in fresh) + t_out.duration
     kernel_seconds = t_d.duration + t_g1.duration + t_g2.duration + t_sum.duration
     return GemmScheduleResult(
         c_share=c_host,

@@ -71,6 +71,25 @@ class DeviceSpec:
         memory_s = bytes_touched / (self.mem_bw_gbps * 1e9)
         return self.kernel_launch_s + max(compute_s, memory_s)
 
+    def batched_gemm_seconds(
+        self, batch: int, m: int, k: int, n: int, *, tensor_core: bool = False, dtype_bytes: int = 4
+    ) -> float:
+        """Time for one *batched* GEMM of ``batch`` stacked (m,k)x(k,n) products.
+
+        Models cublasGemmStridedBatched: a single launch covers the whole
+        stack, and utilisation is judged on the stack's total flops (the
+        batched kernel keeps the SMs fed across the small products).  For
+        ``batch >= 2`` this is strictly cheaper than ``batch`` separate
+        :meth:`gemm_seconds` calls — the launch overhead is paid once and
+        the utilisation term can only improve.
+        """
+        flops = 2.0 * batch * m * k * n
+        peak = (self.tensor_tflops if tensor_core else self.fp32_tflops) * 1e12
+        compute_s = flops / (peak * self.utilization(flops))
+        bytes_touched = dtype_bytes * batch * (m * k + k * n + m * n)
+        memory_s = bytes_touched / (self.mem_bw_gbps * 1e9)
+        return self.kernel_launch_s + max(compute_s, memory_s)
+
     def elementwise_seconds(self, nbytes: float) -> float:
         """Time for a bandwidth-bound elementwise kernel touching ``nbytes``."""
         return self.kernel_launch_s + nbytes / (self.mem_bw_gbps * 1e9)

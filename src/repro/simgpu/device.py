@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.fixedpoint.ring import ring_add, ring_matmul, ring_mul, ring_sub
+from repro.fixedpoint.ring import ring_add, ring_matmul, ring_matmul_batched, ring_mul, ring_sub
 from repro.simgpu.clock import SimClock, Task
 from repro.simgpu.cost import CPUSpec, DeviceSpec
 from repro.simgpu.memory import DeviceBuffer, MemoryPool
@@ -164,6 +164,32 @@ class SimGPU:
         out = self.pool.allocate(ring_matmul(av, bv))
         t = self._charge_gemm(av.shape[0], av.shape[1], bv.shape[1], stream, deps, label)
         return out, t
+
+    def gemm_ring_batched(
+        self,
+        a: DeviceBuffer,
+        b: DeviceBuffer,
+        deps=(),
+        *,
+        stream: int = 0,
+        label: str = "gemm_ring_batched",
+    ) -> tuple[DeviceBuffer, Task]:
+        """Stacked ring GEMM: one launch for a (B,m,k) x (B,k,n) batch.
+
+        Timed as one strided-batched GEMM (the launch overhead amortises
+        over the stack; see :meth:`DeviceSpec.batched_gemm_seconds`) —
+        the kernel the offline triplet pool fuses its dealer products
+        into.
+        """
+        av, bv = a.require_live(), b.require_live()
+        batch, m, k = av.shape
+        n = bv.shape[2]
+        out = self.pool.allocate(ring_matmul_batched(av, bv))
+        dur = self.spec.batched_gemm_seconds(batch, m, k, n, tensor_core=self.tensor_core)
+        self._gemm_count.inc(1, device=self.name)
+        self._gemm_flops.inc(2.0 * batch * m * k * n, device=self.name)
+        t = self.clock.run(self.stream(stream), dur, deps=deps, label=label)
+        return out, self._observe("gemm", t, deps)
 
     def gemm_float(
         self,
