@@ -48,9 +48,11 @@ from repro.core.ops import (
 from repro.core.resnet import SecureResNet
 from repro.core.tensor import SharedTensor
 from repro.core.training import SecureTrainer, TrainReport
+from repro.serve import QueueFullError, SecureInferenceServer, ServeReport
 from repro.telemetry import Telemetry
+from repro import serve
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "api",
@@ -74,6 +76,10 @@ __all__ = [
     "TrainReport",
     "secure_predict",
     "InferenceReport",
+    "serve",
+    "SecureInferenceServer",
+    "ServeReport",
+    "QueueFullError",
     "FaultPlan",
     "PartyCrash",
     "PartyFailure",

@@ -5,6 +5,7 @@ Examples::
     python -m repro.bench MLP MNIST                  # both systems + speedup
     python -m repro.bench CNN VGGFace2 --system par  # ParSecureML only
     python -m repro.bench linear NIST --inference    # forward-only (Fig. 13)
+    python -m repro.bench MLP MNIST --serve --clients 8   # serving-layer latency
     python -m repro.bench MLP MNIST --batches 4 --no-extrapolate
     python -m repro.bench MLP MNIST --system par --pool-size 8 \\
         --static-mask-reuse --json BENCH_offline.json  # batched offline phase
@@ -25,6 +26,7 @@ from repro.bench.harness import (
     run_plain,
     run_secure,
     run_secure_inference,
+    run_serving,
 )
 from repro.bench.workloads import BENCH_DATASETS, BENCH_MODELS
 from repro.core.config import FrameworkConfig
@@ -58,6 +60,15 @@ def main(argv: list[str] | None = None) -> int:
         help="workload-generation seed; the same seed reproduces the run exactly",
     )
     parser.add_argument("--inference", action="store_true", help="forward pass only")
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="serve the inference rows as ragged multi-client requests "
+        "through repro.serve and report p50/p95/p99 request latency",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4,
+        help="logical clients for --serve (default 4)",
+    )
     parser.add_argument("--full-scale", action="store_true", help="NIST at 512x512")
     parser.add_argument(
         "--no-extrapolate", action="store_true",
@@ -79,6 +90,38 @@ def main(argv: list[str] | None = None) -> int:
 
     results = []
     rows = []
+    if args.serve:
+        for name, cfg in _configs(
+            args.system, pool_size=args.pool_size,
+            static_mask_reuse=args.static_mask_reuse,
+        ):
+            res = run_serving(
+                args.model, args.dataset, cfg,
+                clients=args.clients, n_batches=args.batches,
+                batch_size=args.batch_size, seed=args.seed,
+            )
+            print(f"{name:>16}:  {res.requests} requests / {res.rows} rows from "
+                  f"{res.clients} clients -> {res.batches} batches "
+                  f"(fill {res.batch_fill:.0%})")
+            print(f"{'':>16}   latency p50 {res.p50_s * 1e3:8.3f} ms   "
+                  f"p95 {res.p95_s * 1e3:8.3f} ms   p99 {res.p99_s * 1e3:8.3f} ms   "
+                  f"{res.rows_per_online_s:,.0f} rows/s online")
+            rows.append({
+                "system": name, "model": args.model, "dataset": args.dataset,
+                "serve": True, "clients": res.clients, "requests": res.requests,
+                "rows": res.rows, "batches": res.batches,
+                "batch_fill": res.batch_fill, "padded_rows": res.padded_rows,
+                "retried_batches": res.retried_batches,
+                "offline_s": res.offline_s, "online_s": res.online_s,
+                "p50_s": res.p50_s, "p95_s": res.p95_s, "p99_s": res.p99_s,
+            })
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump({"argv": argv if argv is not None else sys.argv[1:],
+                           "rows": rows}, fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        return 0
     for name, cfg in _configs(
         args.system, pool_size=args.pool_size, static_mask_reuse=args.static_mask_reuse
     ):

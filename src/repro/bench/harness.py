@@ -210,6 +210,88 @@ def run_secure_inference(
     )
 
 
+@dataclass
+class ServingRunResult:
+    """One serving benchmark: many ragged clients through one context."""
+
+    spec: WorkloadSpec
+    clients: int
+    requests: int
+    rows: int
+    batches: int
+    padded_rows: int
+    retried_batches: int
+    offline_s: float
+    online_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+
+    @property
+    def rows_per_online_s(self) -> float:
+        return self.rows / self.online_s if self.online_s else 0.0
+
+    @property
+    def batch_fill(self) -> float:
+        total = self.rows + self.padded_rows
+        return self.rows / total if total else 0.0
+
+
+def run_serving(
+    model_name: str,
+    dataset: str,
+    config: FrameworkConfig,
+    *,
+    clients: int = 4,
+    n_batches: int = 2,
+    batch_size: int = 128,
+    seed: int = 0,
+) -> ServingRunResult:
+    """Serve the workload's rows as ragged multi-client requests.
+
+    The same rows :func:`run_secure_inference` measures, but arriving as
+    many small requests from ``clients`` logical clients instead of one
+    pre-batched array — the serving layer coalesces them back into
+    fixed-shape batches, so the delta against the plain inference run is
+    the queueing/padding overhead of the service, and the p50/p95/p99
+    come straight out of the request-latency histogram.
+    """
+    from repro.serve import SecureInferenceServer
+
+    x, _y, spec = load_workload(
+        model_name, dataset, n_batches=n_batches, batch_size=batch_size, seed=seed
+    )
+    ctx = SecureContext.create(config)
+    model = build_secure_model(ctx, spec)
+    server = SecureInferenceServer(
+        ctx, model, max_batch=batch_size, max_queue_rows=max(x.shape[0], batch_size)
+    )
+    rng = np.random.default_rng(seed)
+    lo = 0
+    requests = 0
+    while lo < x.shape[0]:
+        rows = min(int(rng.integers(1, batch_size + 1)), x.shape[0] - lo)
+        server.submit(f"client{requests % clients}", x[lo : lo + rows])
+        lo += rows
+        requests += 1
+    server.drain()
+    rep = server.report()
+    return ServingRunResult(
+        spec=spec,
+        clients=clients,
+        requests=requests,
+        rows=rep.served_rows,
+        batches=rep.batches,
+        padded_rows=rep.padded_rows,
+        retried_batches=rep.retried_batches,
+        offline_s=rep.offline_s,
+        online_s=rep.online_s,
+        p50_s=rep.latency["p50"],
+        p95_s=rep.latency["p95"],
+        p99_s=rep.latency["p99"],
+    )
+
+
 def run_plain_inference(
     model_name: str,
     dataset: str,

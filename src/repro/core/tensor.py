@@ -222,18 +222,27 @@ class SharedTensor:
             self, shares=(self.shares[0].reshape(shape), self.shares[1].reshape(shape))
         )
 
-    def row_slice(self, lo: int, hi: int) -> "SharedTensor":
+    def row_slice(self, lo: int, hi: int, *, pad_to: int | None = None) -> "SharedTensor":
         """Rows [lo, hi) of both shares (local; server-side batch slicing).
 
         Used by the trainer: the dataset is shared once in the offline
         phase and the servers slice batches out of their shares locally.
+
+        ``pad_to`` zero-pads the slice to a fixed row count: both
+        servers append the same all-zero rows, which is a valid additive
+        sharing of 0 — so a ragged tail batch keeps the full batch shape
+        (pooled triplets and label-cached offline material still match)
+        and the pad rows decode to 0 for the caller to trim.
         """
+        s0 = np.ascontiguousarray(self.shares[0][lo:hi])
+        s1 = np.ascontiguousarray(self.shares[1][lo:hi])
+        if pad_to is not None and pad_to > s0.shape[0]:
+            fill = np.zeros((pad_to - s0.shape[0], *s0.shape[1:]), dtype=RING_DTYPE)
+            s0 = np.concatenate([s0, fill], axis=0)
+            s1 = np.concatenate([s1, fill], axis=0)
         return replace(
             self,
-            shares=(
-                np.ascontiguousarray(self.shares[0][lo:hi]),
-                np.ascontiguousarray(self.shares[1][lo:hi]),
-            ),
+            shares=(s0, s1),
             static=False,
             uid=_next_tensor_uid(),
         )

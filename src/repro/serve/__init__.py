@@ -1,0 +1,40 @@
+"""repro.serve — secure inference serving over one SecureContext.
+
+The service-shaped API around the fixed inference driver: a bounded
+:class:`RequestQueue` with retryable admission control, an
+:class:`AdaptiveBatcher` coalescing requests into fixed-shape batches
+(pad-and-trim, so ragged tails are served, never dropped), and a
+:class:`SecureInferenceServer` that multiplexes many logical clients
+over one secure deployment with pool-backed offline provisioning,
+per-request latency spans (p50/p95/p99 via the telemetry histogram
+registry) and the fault-retry/blame machinery from :mod:`repro.faults`.
+
+Quickstart::
+
+    import repro
+    from repro.serve import SecureInferenceServer
+
+    ctx = repro.api.session()
+    model = repro.SecureMLP(ctx, 64, hidden=(32,), n_out=10)
+    server = SecureInferenceServer(ctx, model, max_batch=64)
+    rid = server.submit("client-a", x_rows)     # QueueFullError = back off
+    server.drain()                              # or pump() per event-loop tick
+    report = server.report()                    # responses + p50/p95/p99
+"""
+
+from repro.serve.batcher import AdaptiveBatcher, BatchPlan
+from repro.serve.queue import InferenceRequest, RequestQueue
+from repro.serve.server import InferenceResponse, SecureInferenceServer, ServeReport
+from repro.util.errors import QueueFullError, ServeError
+
+__all__ = [
+    "AdaptiveBatcher",
+    "BatchPlan",
+    "InferenceRequest",
+    "InferenceResponse",
+    "RequestQueue",
+    "SecureInferenceServer",
+    "ServeReport",
+    "QueueFullError",
+    "ServeError",
+]

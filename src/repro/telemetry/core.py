@@ -41,6 +41,18 @@ Metric naming conventions (dots group, labels discriminate):
 ``faults.party_restarts{party}``      crashed parties brought back
 ``faults.batches_replayed{party}``    training batches re-run after restore
 ``faults.requests_retried{party}``    inference batch requests retried
+``infer.padded_rows``                 zero rows padded onto ragged tail batches
+``serve.requests_admitted{client}``   requests accepted by the serving queue
+``serve.requests_rejected{client}``   retryable admission rejections (repro.serve)
+``serve.queue_depth_rows``            gauge: rows currently queued
+``serve.requests_served{client}``     requests answered
+``serve.rows_served``                 input rows answered
+``serve.batches``                     coalesced secure batches run
+``serve.padded_rows``                 pad rows added to reach the batch shape
+``serve.batch_timer_waits``           partial batches cut by the max_wait timer
+``serve.batch_fill``                  histogram: served rows per batch slot
+``serve.request_latency_seconds{stage}`` histogram: queue/service/total spans
+``serve.latency_quantile_seconds{q}`` gauge: p50/p95/p99 at last report()
 ====================================  ==========================================
 """
 

@@ -148,6 +148,34 @@ class HistogramData:
         self.min = min(self.min, value)
         self.max = max(self.max, value)
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (Prometheus-style).
+
+        Linearly interpolates within the bucket containing the q-th
+        observation; the estimate is clamped to the observed
+        ``[min, max]`` so single-bucket distributions don't smear across
+        a whole log-spaced decade.  Returns 0.0 for an empty series.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = 0.0
+        prev_bound = 0.0
+        for bound, cnt in zip(self.bounds, self.bucket_counts):
+            if cnt:
+                if cum + cnt >= target:
+                    if math.isinf(bound):
+                        return self.max
+                    frac = (target - cum) / cnt
+                    est = prev_bound + frac * (bound - prev_bound)
+                    return min(max(est, self.min), self.max)
+                cum += cnt
+            if not math.isinf(bound):
+                prev_bound = bound
+        return self.max
+
     def merge(self, other: "HistogramData") -> "HistogramData":
         if other.bounds != self.bounds:
             raise ConfigError("cannot merge histograms with different bucket bounds")
@@ -191,6 +219,10 @@ class Histogram(_Metric):
         for d in self._select(self._series, labels):
             merged = merged.merge(d)
         return merged
+
+    def quantile(self, q: float, **labels) -> float:
+        """Quantile estimate over the matching (merged) series."""
+        return self.data(**labels).quantile(q)
 
     def series(self) -> dict[LabelKey, HistogramData]:
         return dict(self._series)

@@ -39,3 +39,20 @@ class TransportError(ReproError, RuntimeError):
 
 class ConfigError(ReproError, ValueError):
     """A configuration value was out of range or inconsistent."""
+
+
+class ServeError(ReproError, RuntimeError):
+    """The serving layer rejected or failed a request."""
+
+    #: Whether resubmitting the same request later can succeed.
+    retryable = False
+
+
+class QueueFullError(ServeError):
+    """Admission control rejected a request: the queue is at capacity.
+
+    Retryable backpressure — nothing was enqueued and no offline
+    material was consumed, so the client should back off and resubmit.
+    """
+
+    retryable = True

@@ -96,6 +96,64 @@ class TestHistogram:
         assert h.data().count == 1
 
 
+class TestHistogramQuantile:
+    def test_empty_series_is_zero(self):
+        h = MetricRegistry().histogram("t")
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(0.99) == 0.0
+
+    def test_single_observation_is_itself(self):
+        h = MetricRegistry().histogram("t")
+        h.observe(3e-4)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(3e-4)
+
+    def test_quantiles_are_monotone_and_bounded(self):
+        h = MetricRegistry().histogram("t")
+        rng = np.random.default_rng(0)
+        values = 10.0 ** rng.uniform(-6, -2, size=200)
+        for v in values:
+            h.observe(v)
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.95, 0.99)]
+        assert qs == sorted(qs)
+        assert values.min() <= qs[0] and qs[-1] <= values.max()
+
+    def test_estimate_lands_in_the_right_decade(self):
+        """Bucket interpolation: the estimate stays near the true quantile."""
+        h = MetricRegistry().histogram("t")
+        for _ in range(90):
+            h.observe(5e-6)  # 90% of mass in the (1e-6, 1e-5] bucket
+        for _ in range(10):
+            h.observe(5e-3)
+        assert 1e-6 <= h.quantile(0.5) <= 1e-5
+        assert 1e-3 <= h.quantile(0.99) <= 5e-3
+
+    def test_inf_bucket_returns_observed_max(self):
+        h = MetricRegistry().histogram("t", buckets=(1.0, math.inf))
+        h.observe(0.5)
+        h.observe(42.0)
+        assert h.quantile(0.99) == pytest.approx(42.0)
+
+    def test_labelled_series_merge(self):
+        """Partial-label queries merge series (servable per-client too)."""
+        h = MetricRegistry().histogram("serve.request_latency_seconds")
+        h.observe(1e-4, stage="total", client="a")
+        h.observe(2e-4, stage="total", client="b")
+        h.observe(9.0, stage="queue")
+        merged = h.data(stage="total")
+        assert merged.count == 2
+        assert h.quantile(1.0, stage="total") <= 2e-4 + 1e-12
+        assert h.quantile(0.5, stage="total", client="a") == pytest.approx(1e-4)
+
+    def test_rejects_out_of_range_q(self):
+        h = MetricRegistry().histogram("t")
+        h.observe(1.0)
+        with pytest.raises(ConfigError):
+            h.quantile(1.5)
+        with pytest.raises(ConfigError):
+            h.quantile(-0.1)
+
+
 class TestSpans:
     def test_nesting_tracks_parent_and_depth(self):
         log = SpanLog()
