@@ -50,9 +50,19 @@ from repro.core.tensor import SharedTensor
 from repro.core.training import SecureTrainer, TrainReport
 from repro.serve import QueueFullError, SecureInferenceServer, ServeReport
 from repro.telemetry import Telemetry
+from repro import audit
+from repro.audit import (
+    Transcript,
+    TranscriptRecorder,
+    WireAuditReport,
+    audit_transcript,
+    run_conformance_sweep,
+)
 from repro import serve
 
-__version__ = "1.2.0"
+# Single source of truth for the distribution version: pyproject.toml
+# reads this attribute via [tool.setuptools.dynamic].
+__version__ = "1.3.0"
 
 __all__ = [
     "api",
@@ -85,5 +95,11 @@ __all__ = [
     "PartyFailure",
     "RetryPolicy",
     "ReliableTransport",
+    "audit",
+    "Transcript",
+    "TranscriptRecorder",
+    "WireAuditReport",
+    "audit_transcript",
+    "run_conformance_sweep",
     "__version__",
 ]

@@ -86,7 +86,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--json", metavar="PATH",
                         help="also write the result rows as JSON")
+    parser.add_argument(
+        "--audit", action="store_true",
+        help="record a protocol transcript and chi-square each server's "
+        "wire view (repro.audit); exits 1 if any link fails the ceiling",
+    )
     args = parser.parse_args(argv)
+    audit_failed = False
+
+    def _audit_row(res, row):
+        nonlocal audit_failed
+        if res.wire is None:
+            return
+        print(f"{'':>16}   {res.wire.summary().replace(chr(10), chr(10) + ' ' * 19)}")
+        row["audit_passed"] = res.wire.passed
+        row["audit_max_chi2"] = res.wire.max_chi2
+        if not res.wire.passed:
+            audit_failed = True
 
     results = []
     rows = []
@@ -98,7 +114,7 @@ def main(argv: list[str] | None = None) -> int:
             res = run_serving(
                 args.model, args.dataset, cfg,
                 clients=args.clients, n_batches=args.batches,
-                batch_size=args.batch_size, seed=args.seed,
+                batch_size=args.batch_size, seed=args.seed, audit=args.audit,
             )
             print(f"{name:>16}:  {res.requests} requests / {res.rows} rows from "
                   f"{res.clients} clients -> {res.batches} batches "
@@ -115,13 +131,14 @@ def main(argv: list[str] | None = None) -> int:
                 "offline_s": res.offline_s, "online_s": res.online_s,
                 "p50_s": res.p50_s, "p95_s": res.p95_s, "p99_s": res.p99_s,
             })
+            _audit_row(res, rows[-1])
         if args.json:
             with open(args.json, "w", encoding="utf-8") as fh:
                 json.dump({"argv": argv if argv is not None else sys.argv[1:],
                            "rows": rows}, fh, indent=2)
                 fh.write("\n")
             print(f"wrote {args.json}")
-        return 0
+        return 1 if audit_failed else 0
     for name, cfg in _configs(
         args.system, pool_size=args.pool_size, static_mask_reuse=args.static_mask_reuse
     ):
@@ -129,12 +146,13 @@ def main(argv: list[str] | None = None) -> int:
             res = run_secure_inference(
                 args.model, args.dataset, cfg,
                 n_batches=args.batches, batch_size=args.batch_size, seed=args.seed,
+                audit=args.audit,
             )
         else:
             res = run_secure(
                 args.model, args.dataset, cfg,
                 n_batches=args.batches, batch_size=args.batch_size, seed=args.seed,
-                full_scale=args.full_scale,
+                full_scale=args.full_scale, audit=args.audit,
             )
         n = args.batches if args.no_extrapolate else None
         scope = f"{args.batches} measured batches" if args.no_extrapolate else (
@@ -155,6 +173,7 @@ def main(argv: list[str] | None = None) -> int:
             "pool_size": cfg.pool_size,
             "static_mask_reuse": cfg.static_mask_reuse,
         })
+        _audit_row(res, rows[-1])
 
     if args.plain and not args.inference:
         for device in ("cpu", "gpu"):
@@ -179,7 +198,7 @@ def main(argv: list[str] | None = None) -> int:
                        "rows": rows}, fh, indent=2)
             fh.write("\n")
         print(f"wrote {args.json}")
-    return 0
+    return 1 if audit_failed else 0
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.audit.wire import audit_context
 from repro.bench.workloads import WorkloadSpec, build_plain_model, build_secure_model, load_workload
 from repro.baselines.plain import PlainTimer, PlainTrainer
 from repro.core.config import FrameworkConfig
@@ -48,6 +49,8 @@ class SecureRunResult:
     raw_comm_bytes: int
     wire_comm_bytes: int
     losses: list
+    #: Wire-view audit of the run's recorded traffic (``audit=True`` only).
+    wire: object | None = None
 
     def offline_s(self, n_batches: int | None = None) -> float:
         n = self.spec.paper_batches if n_batches is None else n_batches
@@ -135,6 +138,7 @@ def run_secure(
     seed: int = 0,
     lr: float = 0.03125,
     full_scale: bool = False,
+    audit: bool = False,
 ) -> SecureRunResult:
     """Train one secure grid cell for ``n_batches`` real batches."""
     x, y, spec = load_workload(
@@ -142,10 +146,12 @@ def run_secure(
         full_scale=full_scale,
     )
     ctx = SecureContext.create(config)
+    if audit:
+        ctx.attach_recorder()
     model = build_secure_model(ctx, spec)
     trainer = SecureTrainer(ctx, model, lr=lr, monitor_loss=False)
     report = trainer.train(x, y, epochs=1, batch_size=batch_size)
-    return _secure_result_from_snapshot(
+    res = _secure_result_from_snapshot(
         ctx,
         spec,
         batches=report.batches,
@@ -153,6 +159,9 @@ def run_secure(
         span_prefix="train",
         losses=report.losses,
     )
+    if audit:
+        res.wire = audit_context(ctx)
+    return res
 
 
 def run_plain(
@@ -192,15 +201,18 @@ def run_secure_inference(
     n_batches: int = 2,
     batch_size: int = 128,
     seed: int = 0,
+    audit: bool = False,
 ) -> SecureRunResult:
     """Forward-only secure run (Fig. 13)."""
     x, _y, spec = load_workload(
         model_name, dataset, n_batches=n_batches, batch_size=batch_size, seed=seed
     )
     ctx = SecureContext.create(config)
+    if audit:
+        ctx.attach_recorder()
     model = build_secure_model(ctx, spec)
     rep = secure_predict(ctx, model, x, batch_size=batch_size, max_batches=n_batches)
-    return _secure_result_from_snapshot(
+    res = _secure_result_from_snapshot(
         ctx,
         spec,
         batches=rep.batches,
@@ -208,6 +220,9 @@ def run_secure_inference(
         span_prefix="infer",
         losses=[],
     )
+    if audit:
+        res.wire = audit_context(ctx)
+    return res
 
 
 @dataclass
@@ -226,6 +241,7 @@ class ServingRunResult:
     p50_s: float
     p95_s: float
     p99_s: float
+    wire: object | None = None
 
     @property
     def rows_per_online_s(self) -> float:
@@ -246,6 +262,7 @@ def run_serving(
     n_batches: int = 2,
     batch_size: int = 128,
     seed: int = 0,
+    audit: bool = False,
 ) -> ServingRunResult:
     """Serve the workload's rows as ragged multi-client requests.
 
@@ -264,7 +281,8 @@ def run_serving(
     ctx = SecureContext.create(config)
     model = build_secure_model(ctx, spec)
     server = SecureInferenceServer(
-        ctx, model, max_batch=batch_size, max_queue_rows=max(x.shape[0], batch_size)
+        ctx, model, max_batch=batch_size,
+        max_queue_rows=max(x.shape[0], batch_size), audit=audit,
     )
     rng = np.random.default_rng(seed)
     lo = 0
@@ -289,6 +307,7 @@ def run_serving(
         p50_s=rep.latency["p50"],
         p95_s=rep.latency["p95"],
         p99_s=rep.latency["p99"],
+        wire=server.wire_audit() if audit else None,
     )
 
 

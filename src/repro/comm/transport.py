@@ -102,6 +102,17 @@ class TransportHub:
             raise TransportError(f"duplicate endpoint names: {endpoints}")
         self.mailboxes = {name: Mailbox(name) for name in endpoints}
         self.messages_delivered = 0
+        self._taps: list[Any] = []
+
+    def add_tap(self, tap) -> None:
+        """Register an observer called as ``tap(src, dst, tag, payload)``
+        on every delivered message — including retransmissions and
+        duplicates, which never reach ``recv`` but do cross the wire.
+        The transcript recorder attaches here."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap) -> None:
+        self._taps.remove(tap)
 
     def send(self, src: str, dst: str, tag: str, payload: Any) -> None:
         if src not in self.mailboxes:
@@ -110,6 +121,8 @@ class TransportHub:
             raise TransportError(f"unknown recipient {dst!r}")
         if src == dst:
             raise TransportError(f"{src!r} attempted to message itself")
+        for tap in self._taps:
+            tap(src, dst, tag, payload)
         self.mailboxes[dst].deliver(_Envelope(src=src, dst=dst, tag=tag, payload=payload))
         self.messages_delivered += 1
 

@@ -271,6 +271,12 @@ class SecureContext:
             "mpc.comparisons_issued", "comparison bundles generated offline"
         )
 
+        # Optional transcript recorder (repro.audit): when attached,
+        # every wire charge — client uploads, masked-difference
+        # exchanges, comparison rounds — is logged with its content
+        # hash and clock time for replay and wire-view audits.
+        self.recorder = None
+
     @classmethod
     def create(cls, config: FrameworkConfig | None = None) -> "SecureContext":
         """The blessed builder (what :func:`repro.api.session` returns)."""
@@ -337,10 +343,63 @@ class SecureContext:
             label=label,
         )
 
-    def _upload(self, nbytes_per_server: int, label: str) -> None:
-        """Charge the client->server transfer of offline material."""
+    def attach_recorder(self, recorder=None, *, capture_payloads: bool = True):
+        """Attach (or create) a transcript recorder for this deployment.
+
+        From here on every wire charge is logged (see
+        :mod:`repro.audit`); a resilient server channel also gets its
+        frame path tapped so retransmissions show up.  Returns the
+        recorder so callers can pull the transcript at the end.
+        """
+        if recorder is None:
+            from repro.audit.transcript import TranscriptRecorder
+
+            recorder = TranscriptRecorder(
+                capture_payloads=capture_payloads, telemetry=self.telemetry
+            )
+        self.recorder = recorder
+        transport = getattr(self.server_channel, "transport", None)
+        if transport is not None and hasattr(transport, "attach_recorder"):
+            transport.attach_recorder(recorder)
+        return recorder
+
+    def record_wire(
+        self,
+        src: str,
+        dst: str,
+        tag: str,
+        payload=None,
+        *,
+        nbytes: int | None = None,
+        clock: str = "online",
+    ) -> None:
+        """Log one message on the attached recorder (no-op when absent)."""
+        if self.recorder is None:
+            return
+        clk = self.offline_clock if clock == "offline" else self.online_clock
+        self.recorder.record(
+            src, dst, tag, payload, nbytes=nbytes, clock_s=clk.now()
+        )
+
+    def _upload(
+        self, nbytes_per_server: int, label: str, contents: tuple | None = None
+    ) -> None:
+        """Charge the client->server transfer of offline material.
+
+        ``contents`` optionally carries the per-server payloads
+        ``(to_server0, to_server1)`` so an attached recorder can hash
+        and audit what each server actually received; without it the
+        upload is logged size-only.
+        """
         self.uplink0.send("client", "server0", nbytes_per_server, label=label)
         self.uplink1.send("client", "server1", nbytes_per_server, label=label)
+        if self.recorder is not None:
+            for i in (0, 1):
+                self.record_wire(
+                    "client", f"server{i}", label,
+                    contents[i] if contents is not None else None,
+                    nbytes=nbytes_per_server, clock="offline",
+                )
 
     def _client_matmul(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
         """Z = U x V on the client, GPU-accelerated when profitable.
@@ -383,13 +442,17 @@ class SecureContext:
             label=f"{label}:encode",
         )
         pair = self._share_with_timing(encoded, label)
-        self._upload(encoded.nbytes, f"{label}:upload")
+        self._upload(
+            encoded.nbytes, f"{label}:upload", contents=(pair.share0, pair.share1)
+        )
         return pair
 
     def share_ring(self, encoded: np.ndarray, label: str = "input") -> SharePair:
         """Share an already-encoded ring matrix."""
         pair = self._share_with_timing(encoded, label)
-        self._upload(encoded.nbytes, f"{label}:upload")
+        self._upload(
+            encoded.nbytes, f"{label}:upload", contents=(pair.share0, pair.share1)
+        )
         return pair
 
     def gen_matrix_triplet(self, shape_a, shape_b) -> MatrixTriplet:
@@ -406,7 +469,14 @@ class SecureContext:
             shape_a=tuple(shape_a),
             shape_b=tuple(shape_b),
         )
-        self._upload(u.nbytes + v.nbytes + z.nbytes, "triplet:upload")
+        self._upload(
+            u.nbytes + v.nbytes + z.nbytes, "triplet:upload",
+            contents=tuple(
+                (getattr(triplet.u, f"share{i}"), getattr(triplet.v, f"share{i}"),
+                 getattr(triplet.z, f"share{i}"))
+                for i in (0, 1)
+            ),
+        )
         self._triplets_generated.inc(
             1, kind="matrix", shape=f"{tuple(shape_a)}x{tuple(shape_b)}"
         )
@@ -425,7 +495,14 @@ class SecureContext:
             z=self._share_with_timing(z, "etriplet:Z"),
             shape=tuple(shape),
         )
-        self._upload(3 * u.nbytes, "etriplet:upload")
+        self._upload(
+            3 * u.nbytes, "etriplet:upload",
+            contents=tuple(
+                (getattr(triplet.u, f"share{i}"), getattr(triplet.v, f"share{i}"),
+                 getattr(triplet.z, f"share{i}"))
+                for i in (0, 1)
+            ),
+        )
         self._triplets_generated.inc(1, kind="elementwise", shape=str(tuple(shape)))
         return triplet
 
@@ -481,7 +558,14 @@ class SecureContext:
             u_pair = self._share_with_timing(u, "pool:U")
             v_pair = self._share_with_timing(v, "pool:V")
             z_pair = self._share_with_timing(z, "pool:Z")
-            self._upload(u.nbytes + v.nbytes + z.nbytes, "pool:upload")
+            self._upload(
+                u.nbytes + v.nbytes + z.nbytes, "pool:upload",
+                contents=tuple(
+                    (getattr(u_pair, f"share{i}"), getattr(v_pair, f"share{i}"),
+                     getattr(z_pair, f"share{i}"))
+                    for i in (0, 1)
+                ),
+            )
         self._triplets_generated.inc(
             count, kind="matrix", shape=f"{tuple(shape_a)}x{tuple(shape_b)}", source="pool"
         )
@@ -508,7 +592,14 @@ class SecureContext:
             u_pair = self._share_with_timing(u, "pool:U")
             v_pair = self._share_with_timing(v, "pool:V")
             z_pair = self._share_with_timing(z, "pool:Z")
-            self._upload(3 * u.nbytes, "pool:upload")
+            self._upload(
+                3 * u.nbytes, "pool:upload",
+                contents=tuple(
+                    (getattr(u_pair, f"share{i}"), getattr(v_pair, f"share{i}"),
+                     getattr(z_pair, f"share{i}"))
+                    for i in (0, 1)
+                ),
+            )
         self._triplets_generated.inc(
             count, kind="elementwise", shape=str(tuple(shape)), source="pool"
         )

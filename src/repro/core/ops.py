@@ -114,6 +114,14 @@ def _exchange_masked(
         send_tasks[src] = ctx.server_channel.send(
             f"server{src}", f"server{dst}", payload.wire_bytes, deps=(scan,), label=f"{label}:send"
         )
+        # Transcript tap: log the masked matrix the receiver can
+        # reconstruct (the information content of the wire), not the
+        # CSR delta encoding — deltas of truncated shares are
+        # legitimately non-uniform, the masked matrix must not be.
+        ctx.record_wire(
+            f"server{src}", f"server{dst}", f"{label}/{src}",
+            locals_[src], nbytes=payload.wire_bytes,
+        )
         # Receiver replays the compressor state machine for exactness.
         decoded = ctx.compressors[(src, dst)].decode(payload)
         if not np.array_equal(decoded, locals_[src]):  # pragma: no cover - invariant
@@ -417,6 +425,11 @@ def _secure_compare_const_body(ctx, x, threshold, *, label: str) -> SharedTensor
     for src in (0, 1):
         t = ctx.server_channel.send(
             f"server{src}", f"server{1 - src}", half, deps=(cpu_tasks[src],), label=f"{label}:rounds"
+        )
+        # Size-only transcript record: the GMW bit rounds are costed in
+        # aggregate, their per-round content is not materialized here.
+        ctx.record_wire(
+            f"server{src}", f"server{1 - src}", f"{label}:rounds", nbytes=half
         )
         t2 = ctx.online_clock.run(
             f"link.server{src}->server{1 - src}", extra_latency, deps=(t,), label=f"{label}:latency"

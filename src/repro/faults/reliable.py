@@ -172,6 +172,13 @@ class ReliableTransport:
             raise TransportError(f"unknown role {role!r}")
         return _ReliableView(self, role)
 
+    def attach_recorder(self, recorder):
+        """Tap the underlying hub so the recorder sees every frame —
+        originals, retransmissions, and injector-made duplicates alike
+        (the recorder logs the wire, not the protocol's view of it).
+        Returns the tap for later ``hub.remove_tap``."""
+        return recorder.tap_hub(self.hub, clock=self.clock)
+
     def restart(self, party: str) -> None:
         """Recovery hook: bring a crashed party back online."""
         if self.injector is not None:

@@ -119,10 +119,17 @@ class SecureInferenceServer:
         max_wait_s: float = 1e-3,
         max_queue_rows: int | None = None,
         max_request_retries: int = 2,
+        audit: bool = False,
     ):
         self.ctx = ctx
         self.model = model
         self.max_request_retries = max_request_retries
+        # Deployment audit hook: with ``audit`` on (or a recorder already
+        # attached to the context) every served request's wire traffic is
+        # recorded, and wire_audit() chi-squares each server's view.
+        if audit and getattr(ctx, "recorder", None) is None:
+            ctx.attach_recorder()
+        self.recorder = getattr(ctx, "recorder", None)
         self.batcher = AdaptiveBatcher(max_batch=max_batch, max_wait_s=max_wait_s)
         self.queue = RequestQueue(
             max_rows=max_queue_rows if max_queue_rows is not None else 8 * max_batch,
@@ -260,6 +267,22 @@ class SecureInferenceServer:
 
     def latency_quantiles(self) -> dict:
         return {name: self._latency.quantile(q, stage="total") for name, q in _QUANTILES}
+
+    def wire_audit(self, **kwargs):
+        """Chi-square the recorded wire view of this deployment's traffic.
+
+        Requires the server to have been built with ``audit=True`` (or a
+        recorder attached to the context beforehand); see
+        :func:`repro.audit.audit_transcript` for the knobs.
+        """
+        from repro.audit.wire import audit_transcript
+
+        if self.recorder is None:
+            raise ServeError(
+                "server has no transcript recorder; construct with audit=True"
+            )
+        kwargs.setdefault("telemetry", self.ctx.telemetry)
+        return audit_transcript(self.recorder.transcript(), **kwargs)
 
     # -- internals --------------------------------------------------------------
 

@@ -14,6 +14,8 @@ from repro.util.errors import (
     DeviceError,
     TransportError,
     ConfigError,
+    AuditError,
+    TranscriptMismatch,
 )
 from repro.util.validation import (
     check_matrix,
@@ -31,6 +33,8 @@ __all__ = [
     "DeviceError",
     "TransportError",
     "ConfigError",
+    "AuditError",
+    "TranscriptMismatch",
     "check_matrix",
     "check_same_shape",
     "check_matmul_compatible",

@@ -56,3 +56,19 @@ class QueueFullError(ServeError):
     """
 
     retryable = True
+
+
+class AuditError(ReproError, RuntimeError):
+    """The conformance/audit harness found or hit a problem.
+
+    Raised when a wire-view audit exceeds the chi-square ceiling, a
+    recorder is misused, or a transcript cannot be loaded.
+    """
+
+
+class TranscriptMismatch(AuditError):
+    """A replayed session's transcript diverged from the recording.
+
+    The replay oracle's failure mode: some refactor changed the
+    protocol's wire behaviour (message order, sizes, bytes, or timing).
+    """

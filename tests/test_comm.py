@@ -10,6 +10,7 @@ from repro.comm.compression import CompressedPayload, DeltaCompressor
 from repro.comm.csr import csr_decode, csr_encode, csr_nbytes, dense_nbytes, density
 from repro.comm.transport import TransportHub
 from repro.simgpu.clock import SimClock
+from repro.telemetry import Telemetry
 from repro.util.errors import ProtocolError, TransportError
 
 
@@ -172,6 +173,62 @@ class TestDeltaCompressor:
         payload = comp.encode("k", rng.normal(size=(8, 8)))
         assert payload.kind == "dense"
 
+    def test_exactly_at_threshold_compresses(self, rng):
+        # the threshold is inclusive: zero_fraction == 0.75 compresses
+        comp = DeltaCompressor(0.75)
+        base = rng.normal(size=(16, 16))
+        comp.encode("k", base)
+        nxt = base.copy()
+        nxt.reshape(-1)[:64] += 1.0  # 192/256 zeros in the delta, exactly 0.75
+        assert comp.encode("k", nxt).kind == "csr_delta"
+
+    def test_just_below_threshold_stays_dense(self, rng):
+        comp = DeltaCompressor(0.75)
+        base = rng.normal(size=(16, 16))
+        comp.encode("k", base)
+        nxt = base.copy()
+        nxt.reshape(-1)[:65] += 1.0  # 191/256 zeros, one short of the threshold
+        assert comp.encode("k", nxt).kind == "dense"
+
+    def test_sparse_enough_but_csr_larger_stays_dense(self, rng):
+        # a 2x2 matrix with one changed cell clears the zero-fraction
+        # bar (0.75) but CSR overhead exceeds the 32-byte dense size,
+        # so the size comparison vetoes compression
+        comp = DeltaCompressor(0.75)
+        base = rng.normal(size=(2, 2))
+        comp.encode("k", base)
+        nxt = base.copy()
+        nxt[0, 0] += 1.0
+        assert comp.encode("k", nxt).kind == "dense"
+
+    def test_all_zero_delta_is_near_free(self, rng):
+        comp = DeltaCompressor(0.75)
+        base = rng.normal(size=(16, 16))
+        comp.encode("k", base)
+        payload = comp.encode("k", base)  # identical resend: delta == 0
+        assert payload.kind == "csr_delta"
+        assert payload.wire_bytes < dense_nbytes(base) // 4
+        assert payload.raw_bytes == dense_nbytes(base)
+
+    def test_telemetry_accounting_matches_payloads(self, rng):
+        # the telemetry counters must agree byte-for-byte with what the
+        # payloads themselves report having cost
+        tel = Telemetry()
+        comp = DeltaCompressor(0.75, telemetry=tel, direction="s0->s1")
+        base = rng.normal(size=(32, 32))
+        stream = [base, base.copy(), rng.normal(size=(32, 32))]
+        stream[1][0, 0] += 1.0
+        payloads = [comp.encode("k", m) for m in stream]
+        kinds = [p.kind for p in payloads]
+        assert kinds == ["dense", "csr_delta", "dense"]
+        snap = tel.snapshot()
+        assert snap.counter("comm.compression.raw_bytes") == sum(p.raw_bytes for p in payloads)
+        assert snap.counter("comm.compression.wire_bytes") == sum(p.wire_bytes for p in payloads)
+        assert comp.stats.raw_bytes == sum(p.raw_bytes for p in payloads)
+        assert comp.stats.wire_bytes == sum(p.wire_bytes for p in payloads)
+        assert comp.stats.dense_messages == 2
+        assert comp.stats.compressed_messages == 1
+
 
 class TestTransport:
     def test_fifo_per_tag(self):
@@ -217,3 +274,18 @@ class TestTransport:
         hub = TransportHub(["a", "b"])
         hub.send("a", "b", "t", 1)
         assert hub.mailboxes["b"].pending("a", "t") == 1
+
+    def test_pending_summary_tracks_partial_drains(self):
+        hub = TransportHub(["a", "b", "c"])
+        hub.send("a", "b", "t", 1)
+        hub.send("a", "b", "t", 2)
+        hub.send("c", "b", "u", 3)
+        box = hub.mailboxes["b"]
+        assert box.pending_summary() == {("a", "t"): 2, ("c", "u"): 1}
+        hub.recv("b", "a", "t")
+        assert box.pending_summary() == {("a", "t"): 1, ("c", "u"): 1}
+        hub.recv("b", "c", "u")
+        # fully drained streams drop out instead of lingering at zero
+        assert box.pending_summary() == {("a", "t"): 1}
+        hub.recv("b", "a", "t")
+        assert box.pending_summary() == {}

@@ -1,0 +1,119 @@
+"""Differential conformance sweep: 6 models x config axes vs plain.
+
+Every cell must agree with the plain baseline within fixed-point
+tolerance; cost-only axes must additionally be bit-identical to the
+baseline axis.  On a disagreement the failing run's transcript is
+dumped as JSON to ``REPRO_CONFORMANCE_ARTIFACTS`` (default
+``conformance-artifacts/``) so CI can upload it for offline replay.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.audit import (
+    BIT_IDENTICAL_AXES,
+    CONFORMANCE_AXES,
+    CONFORMANCE_MODELS,
+    ConformanceCase,
+    run_conformance_case,
+)
+from repro.util.errors import ConfigError
+
+pytestmark = pytest.mark.conformance
+
+
+def _dump_artifact(result) -> str:
+    out_dir = Path(os.environ.get("REPRO_CONFORMANCE_ARTIFACTS", "conformance-artifacts"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{result.case.name.replace('/', '-')}.json"
+    result.transcript.dump(path)
+    return str(path)
+
+
+def _check(result):
+    """Assert agreement; on failure leave the transcript for CI."""
+    if not result.agreed or (result.wire is not None and not result.wire.passed):
+        artifact = _dump_artifact(result)
+        detail = result.describe()
+        if result.wire is not None and not result.wire.passed:
+            detail += "\n" + result.wire.summary()
+        pytest.fail(f"{detail}\ntranscript dumped to {artifact}")
+
+
+class TestForwardSweep:
+    """All 6 models x all config axes, forward pass, with wire audit."""
+
+    @pytest.mark.parametrize("model", CONFORMANCE_MODELS)
+    @pytest.mark.parametrize("axis", sorted(CONFORMANCE_AXES))
+    def test_secure_matches_plain(self, model, axis):
+        result = run_conformance_case(ConformanceCase(model=model, axis=axis))
+        _check(result)
+
+
+class TestTrainingSweep:
+    """Training conformance: the backward pass agrees too."""
+
+    @pytest.mark.parametrize("model", CONFORMANCE_MODELS)
+    def test_trained_predictions_match_plain(self, model):
+        result = run_conformance_case(
+            ConformanceCase(model=model, axis="baseline", train=True)
+        )
+        _check(result)
+
+    @pytest.mark.parametrize("axis", ["pool", "mask_reuse"])
+    def test_training_under_offline_axes(self, axis):
+        result = run_conformance_case(
+            ConformanceCase(model="MLP", axis=axis, train=True)
+        )
+        _check(result)
+
+
+class TestBitIdentity:
+    """Cost-only knobs must not move a single prediction bit."""
+
+    @pytest.mark.parametrize("model", CONFORMANCE_MODELS)
+    @pytest.mark.parametrize("axis", sorted(BIT_IDENTICAL_AXES))
+    def test_cost_only_axis_is_bit_identical(self, model, axis):
+        base = run_conformance_case(
+            ConformanceCase(model=model, axis="baseline"), audit=False
+        )
+        variant = run_conformance_case(
+            ConformanceCase(model=model, axis=axis), audit=False
+        )
+        np.testing.assert_array_equal(base.predictions, variant.predictions)
+
+    def test_pool_axis_is_tolerance_only(self):
+        # documents why pool is excluded from BIT_IDENTICAL_AXES:
+        # pooled provisioning draws triplets from a different RNG
+        # stream, and truncation rounding is share-dependent
+        base = run_conformance_case(ConformanceCase("MLP", "baseline"), audit=False)
+        pooled = run_conformance_case(ConformanceCase("MLP", "pool"), audit=False)
+        assert not np.array_equal(base.predictions, pooled.predictions)
+        assert np.max(np.abs(base.predictions - pooled.predictions)) < 1e-3
+
+    def test_replay_same_cell_is_bit_identical(self):
+        first = run_conformance_case(ConformanceCase("logistic", "baseline"))
+        second = run_conformance_case(ConformanceCase("logistic", "baseline"))
+        first.transcript.assert_identical(second.transcript)
+        np.testing.assert_array_equal(first.predictions, second.predictions)
+
+
+class TestCaseValidation:
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigError, match="model"):
+            ConformanceCase(model="transformer", axis="baseline")
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigError, match="axis"):
+            ConformanceCase(model="MLP", axis="turbo")
+
+    def test_sweep_matrix_is_complete(self):
+        # acceptance criterion: 6 models x >= 4 config axes
+        assert len(CONFORMANCE_MODELS) == 6
+        assert len(CONFORMANCE_AXES) >= 5  # baseline + 4 optimization axes
+        assert set(BIT_IDENTICAL_AXES) < set(CONFORMANCE_AXES)

@@ -16,6 +16,8 @@ from repro.fixedpoint.encoding import FixedPointEncoder
 from repro.mpc.comparison import ComparisonDealer, secure_ge_const
 from repro.mpc.shares import share_secret
 
+pytestmark = pytest.mark.security
+
 
 def chi2_uniform_bytes(arr: np.ndarray) -> float:
     data = arr.reshape(-1).view(np.uint8)

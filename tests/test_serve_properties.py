@@ -1,0 +1,170 @@
+"""Hypothesis property tests for the serving layer's queue and batcher.
+
+The invariants the serving design doc promises, held under arbitrary
+interleavings instead of the example-based paths in test_serve.py:
+
+* an admitted request is never dropped and never duplicated, whatever
+  mix of admissions, batch pops, and failure requeues happens;
+* every batch plan fits the fixed batch shape and preserves FIFO
+  request order.
+
+The queue and batcher only read ``x.shape[0]`` off a request, so a stub
+stands in for the secret-shared tensor — these properties are about
+bookkeeping, not MPC.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.batcher import AdaptiveBatcher
+from repro.serve.queue import InferenceRequest, RequestQueue
+from repro.util.errors import QueueFullError
+
+pytestmark = pytest.mark.property
+
+MAX_BATCH = 8
+
+
+class _Rows:
+    """Stands in for a SharedTensor: the queue reads only shape[0]."""
+
+    def __init__(self, rows: int):
+        self.shape = (rows, 4)
+
+
+def _request(rid: int, rows: int, t: float = 0.0) -> InferenceRequest:
+    return InferenceRequest(
+        client_id=f"c{rid % 3}", request_id=rid, x=_Rows(rows), enqueue_t=t
+    )
+
+
+# One queue operation: admit a request of `rows`, pop up to `take` rows,
+# or requeue the most recently popped, not-yet-acked request.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("admit"), st.integers(min_value=1, max_value=MAX_BATCH)),
+        st.tuples(st.just("pop"), st.integers(min_value=1, max_value=2 * MAX_BATCH)),
+        st.tuples(st.just("requeue"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestRequestQueueProperties:
+    @given(ops=_ops)
+    @settings(max_examples=200, deadline=None)
+    def test_no_admitted_request_dropped_or_duplicated(self, ops):
+        queue = RequestQueue(max_rows=3 * MAX_BATCH)
+        admitted: list[int] = []
+        served: list[int] = []
+        in_flight: list[InferenceRequest] = []
+        rid = 0
+        for op, arg in ops:
+            if op == "admit":
+                req = _request(rid, arg)
+                rid += 1
+                try:
+                    queue.admit(req)
+                    admitted.append(req.request_id)
+                except QueueFullError:
+                    # rejected atomically: must not occupy queue state
+                    continue
+            elif op == "pop":
+                # ack whatever was in flight (the server served it)
+                served.extend(r.request_id for r in in_flight)
+                in_flight = queue.pop_upto(arg)
+            else:  # requeue: the in-flight batch failed, put it back
+                for r in reversed(in_flight):
+                    queue.requeue_front(r)
+                in_flight = []
+        served.extend(r.request_id for r in in_flight)
+        remaining = [r.request_id for r in queue.pop_upto(10**9)]
+        # conservation: every admitted request is served or queued,
+        # exactly once, and nothing was invented
+        assert sorted(served + remaining) == sorted(admitted)
+        assert len(set(served + remaining)) == len(admitted)
+        # row accounting drained to zero with the queue
+        assert queue.depth_rows == 0 and len(queue) == 0
+
+    @given(ops=_ops)
+    @settings(max_examples=100, deadline=None)
+    def test_depth_rows_tracks_queued_requests_exactly(self, ops):
+        # a reference model of the queue contents; depth_rows and len
+        # must agree with it after every operation (note requeue_front
+        # may legitimately push depth above max_rows — it bypasses
+        # admission so an aborted batch is never dropped)
+        queue = RequestQueue(max_rows=3 * MAX_BATCH)
+        model: list[InferenceRequest] = []
+        popped: list[InferenceRequest] = []
+        rid = 0
+        for op, arg in ops:
+            if op == "admit":
+                req = _request(rid, arg)
+                rid += 1
+                try:
+                    queue.admit(req)
+                    model.append(req)
+                except QueueFullError:
+                    pass
+            elif op == "pop":
+                popped = queue.pop_upto(arg)
+                # pops are always a prefix of the FIFO order
+                assert popped == model[: len(popped)]
+                model = model[len(popped):]
+            else:
+                for r in reversed(popped):
+                    queue.requeue_front(r)
+                model = popped + model
+                popped = []
+            assert queue.depth_rows == sum(r.rows for r in model)
+            assert len(queue) == len(model)
+
+
+class TestBatcherProperties:
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=MAX_BATCH), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_plans_fit_shape_and_preserve_order(self, sizes):
+        queue = RequestQueue(max_rows=10**6)
+        for rid, rows in enumerate(sizes):
+            queue.admit(_request(rid, rows, t=float(rid)))
+        batcher = AdaptiveBatcher(max_batch=MAX_BATCH, max_wait_s=0.0)
+        order: list[int] = []
+        while True:
+            plan = batcher.next_plan(queue)
+            if plan is None:
+                break
+            # the fixed batch shape is never exceeded, padding never negative
+            assert 0 < plan.rows <= plan.max_batch == MAX_BATCH
+            assert plan.pad_rows == MAX_BATCH - plan.rows >= 0
+            # requests inside a plan are consecutive FIFO
+            order.extend(r.request_id for r in plan.requests)
+        # across plans, global admission order is preserved, nothing lost
+        assert order == list(range(len(sizes)))
+
+    @given(
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=MAX_BATCH), min_size=1, max_size=20
+        ),
+        now=st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ready_iff_full_batch_or_timer(self, sizes, now):
+        queue = RequestQueue(max_rows=10**6)
+        for rid, rows in enumerate(sizes):
+            queue.admit(_request(rid, rows, t=1.0))
+        batcher = AdaptiveBatcher(max_batch=MAX_BATCH, max_wait_s=2.0)
+        expected = queue.depth_rows >= MAX_BATCH or now - 1.0 >= 2.0
+        assert batcher.ready(queue, now) == expected
+        # demand covers exactly a full drain
+        plans = 0
+        while batcher.next_plan(queue) is not None:
+            plans += 1
+        assert plans >= 1

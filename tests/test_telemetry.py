@@ -128,6 +128,30 @@ class TestHistogramQuantile:
         assert 1e-6 <= h.quantile(0.5) <= 1e-5
         assert 1e-3 <= h.quantile(0.99) <= 5e-3
 
+    def test_q0_is_min_and_q1_is_max(self):
+        h = MetricRegistry().histogram("t")
+        for v in (2e-6, 7e-5, 4e-4, 9e-3):
+            h.observe(v)
+        assert h.quantile(0.0) == pytest.approx(2e-6)
+        assert h.quantile(1.0) == pytest.approx(9e-3)
+
+    def test_all_mass_in_one_bucket_clamps_to_observed_range(self):
+        # 2e-6..9e-6 all land in the (1e-6, 1e-5] bucket; interpolation
+        # alone would smear estimates across the whole decade, the
+        # [min, max] clamp keeps them inside what was actually seen
+        h = MetricRegistry().histogram("t")
+        for v in (2e-6, 3e-6, 9e-6):
+            h.observe(v)
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert 2e-6 <= h.quantile(q) <= 9e-6
+
+    def test_out_of_range_q_rejected(self):
+        h = MetricRegistry().histogram("t")
+        h.observe(1e-4)
+        for q in (-0.1, 1.1):
+            with pytest.raises(ConfigError):
+                h.quantile(q)
+
     def test_inf_bucket_returns_observed_max(self):
         h = MetricRegistry().histogram("t", buckets=(1.0, math.inf))
         h.observe(0.5)
