@@ -18,7 +18,14 @@ With ``--chaos-seed`` a fault plan (packet drops + a mid-serve party
 crash) runs underneath; the service must still lose nothing and return
 bit-identical predictions — the crash only shows up in the tail latency.
 
+With ``--replicas N`` the same request stream runs through the sharded
+serving fleet (:mod:`repro.serve.fleet`) instead of one server: N
+replica deployments behind the router, a shared dealer, and — under
+chaos — replica crashes recovered by re-routing the admitted requests
+onto healthy replicas.  Zero requests lost, same agreement bar.
+
 Run:  python examples/secure_inference_service.py --clients 6 --chaos-seed 7
+      python examples/secure_inference_service.py --replicas 2 --chaos-seed 7
 """
 
 import argparse
@@ -30,7 +37,7 @@ from repro.baselines.plain import PlainMLP, PlainTimer, PlainTrainer
 from repro.core import FrameworkConfig, SecureContext, SecureMLP
 from repro.datasets import vggface2_like
 from repro.faults import FaultPlan, PartyCrash
-from repro.serve import QueueFullError, SecureInferenceServer
+from repro.serve import QueueFullError, Replica, SecureServingFleet
 
 IMAGE = (40, 40, 1)  # demo-scale stand-in for the paper's 200x200 faces
 FEATURES = 40 * 40
@@ -38,22 +45,18 @@ N_CLASSES = 10
 MAX_BATCH = 64
 
 
-def build_service(chaos_seed: int | None):
-    """Train in the clear, deploy the weights as shares, wrap in a server."""
+def train_plain():
+    """Train the face-recognition-style MLP in the clear."""
     x_train, y_train = vggface2_like(512, seed=1, image_shape=IMAGE)
     plain = PlainMLP(FEATURES, hidden=(64, 32), n_out=N_CLASSES, seed=3)
     PlainTrainer(plain, PlainTimer("cpu"), lr=0.05).train(
         x_train, y_train, epochs=3, batch_size=MAX_BATCH
     )
+    return plain
 
-    overrides = {}
-    if chaos_seed is not None:
-        overrides["fault_plan"] = FaultPlan(
-            seed=chaos_seed,
-            drop=0.02,
-            crashes=(PartyCrash("server1", at_step=3),),
-        )
-    ctx = SecureContext(FrameworkConfig.parsecureml(**overrides))
+
+def deploy_model(ctx, plain):
+    """Install the plain weights into a secure model as shares."""
     service = SecureMLP(ctx, FEATURES, hidden=(64, 32), n_out=N_CLASSES)
     dense_secure = [la for la in service.layers if hasattr(la, "weight")]
     dense_plain = [la for la in plain.layers if hasattr(la, "w")]
@@ -62,10 +65,58 @@ def build_service(chaos_seed: int | None):
         bp = ctx.share_plain(lp.b, label=f"deploy/{ls.name}/b")
         ls.weight.shares = (wp.share0, wp.share1)
         ls.bias.shares = (bp.share0, bp.share1)
-    server = SecureInferenceServer(
-        ctx, service, max_batch=MAX_BATCH, max_queue_rows=4 * MAX_BATCH
+    return service
+
+
+def chaos_plan(chaos_seed: int):
+    return FaultPlan(
+        seed=chaos_seed,
+        drop=0.02,
+        crashes=(PartyCrash("server1", at_step=3),),
     )
+
+
+def build_service(chaos_seed: int | None):
+    """Train in the clear, deploy the weights as shares, wrap in a server."""
+    plain = train_plain()
+    overrides = {}
+    if chaos_seed is not None:
+        overrides["fault_plan"] = chaos_plan(chaos_seed)
+    ctx = SecureContext(FrameworkConfig.parsecureml(**overrides))
+    service = deploy_model(ctx, plain)
+    server = Replica(ctx, service, max_batch=MAX_BATCH, queue_rows=4 * MAX_BATCH)
     return ctx, plain, server
+
+
+def build_fleet(chaos_seed: int | None, replicas: int):
+    """Train once, deploy the same weights onto every fleet replica.
+
+    Under chaos only replica 0 runs the fault plan, and the fleet's
+    per-batch retry budget is zero — so the crash escalates to the
+    router, which must drain the admitted requests back and re-route
+    them onto the healthy replicas.
+    """
+    plain = train_plain()
+    replica_config = None
+    request_retries = 2
+    if chaos_seed is not None:
+        plan = chaos_plan(chaos_seed)
+        request_retries = 0
+
+        def replica_config(index, cfg):
+            return cfg.but(fault_plan=plan) if index == 0 else cfg
+
+    fleet = SecureServingFleet(
+        lambda ctx: deploy_model(ctx, plain),
+        replicas=replicas,
+        config=FrameworkConfig.parsecureml(),
+        replica_config=replica_config,
+        placement="least-depth",  # spread the waves so every replica works
+        max_batch=MAX_BATCH,
+        queue_rows=4 * MAX_BATCH,
+        request_retries=request_retries,
+    )
+    return plain, fleet
 
 
 def submit_all(server, queries):
@@ -95,9 +146,16 @@ def main(argv=None) -> int:
                         help="request waves per client (default 4)")
     parser.add_argument("--chaos-seed", type=int, default=None,
                         help="run under a fault plan (drops + a party crash)")
+    parser.add_argument("--replicas", type=int, default=1,
+                        help="serve through a fleet of N replicas (default 1 "
+                        "= the single-server path)")
     args = parser.parse_args(argv)
 
-    ctx, plain, server = build_service(args.chaos_seed)
+    if args.replicas > 1:
+        plain, fleet = build_fleet(args.chaos_seed, args.replicas)
+        ctx, server = None, fleet
+    else:
+        ctx, plain, server = build_service(args.chaos_seed)
 
     # Interleaved client waves with ragged sizes, tiny requests included.
     rng = np.random.default_rng(4)
@@ -128,7 +186,8 @@ def main(argv=None) -> int:
     tie_flips = 0
     max_err = 0.0
     for resp in rep.responses:
-        _, x = submitted[resp.request_id]
+        rid = resp.fleet_rid if args.replicas > 1 else resp.request_id
+        _, x = submitted[rid]
         ref = plain.forward(x, timer, training=False)
         err = float(np.abs(resp.predictions - ref).max())
         max_err = max(max_err, err)
@@ -153,11 +212,23 @@ def main(argv=None) -> int:
           f"{args.clients} clients{chaos}: zero lost, {agreement:.1%} agreement "
           f"(max logit deviation {max_err:.2e}, {tie_flips} near-tie flips)")
     print(f"batching: {rep.batches} secure batches, fill {rep.mean_batch_fill:.0%} "
-          f"({rep.padded_rows} pad rows), {rejections} backpressure rejects, "
-          f"{rep.timer_waits} timer flushes")
+          f"({rep.padded_rows} pad rows), {rejections} backpressure rejects"
+          + ("" if args.replicas > 1 else f", {rep.timer_waits} timer flushes"))
     print(f"latency (simulated online): p50 {rep.latency['p50'] * 1e3:.3f} ms   "
           f"p95 {rep.latency['p95'] * 1e3:.3f} ms   "
           f"p99 {rep.latency['p99'] * 1e3:.3f} ms")
+    if args.replicas > 1:
+        if rep.dropped_requests:
+            print(f"FAILED: fleet dropped {rep.dropped_requests} requests",
+                  file=sys.stderr)
+            return 1
+        print(f"fleet: {args.replicas} replicas, {rep.replica_crashes} "
+              f"crash(es) recovered, {rep.rerouted_requests} requests "
+              f"re-routed, {rep.dropped_requests} dropped")
+        for name, r in sorted(rep.replicas.items()):
+            print(f"  {name}: {r.served_requests} requests / {r.served_rows} rows "
+                  f"in {r.batches} batches, online {r.online_s * 1e3:.3f} ms")
+        return 0
     if rep.retried_batches:
         print(f"faults: {rep.retried_batches} batch(es) retried after a party "
               f"crash, {rep.retry_online_s * 1e3:.3f} ms burned in recovery "

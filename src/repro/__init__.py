@@ -48,7 +48,15 @@ from repro.core.ops import (
 from repro.core.resnet import SecureResNet
 from repro.core.tensor import SharedTensor
 from repro.core.training import SecureTrainer, TrainReport
-from repro.serve import QueueFullError, SecureInferenceServer, ServeReport
+from repro.serve import (
+    DealerService,
+    FleetRouter,
+    QueueFullError,
+    Replica,
+    SecureInferenceServer,
+    SecureServingFleet,
+    ServeReport,
+)
 from repro.telemetry import Telemetry
 from repro import audit
 from repro.audit import (
@@ -62,7 +70,7 @@ from repro import serve
 
 # Single source of truth for the distribution version: pyproject.toml
 # reads this attribute via [tool.setuptools.dynamic].
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "api",
@@ -87,6 +95,10 @@ __all__ = [
     "secure_predict",
     "InferenceReport",
     "serve",
+    "Replica",
+    "SecureServingFleet",
+    "FleetRouter",
+    "DealerService",
     "SecureInferenceServer",
     "ServeReport",
     "QueueFullError",

@@ -1,6 +1,6 @@
-"""The blessed entry point: ``repro.api.session``.
+"""The blessed entry points: ``repro.api.session`` and ``repro.api.serve``.
 
-One call wires the whole paper deployment — client, two servers,
+:func:`session` wires one whole paper deployment — client, two servers,
 simulated GPUs, channels, compressors, telemetry — and hands back the
 :class:`~repro.core.context.SecureContext` everything else hangs off::
 
@@ -14,6 +14,16 @@ simulated GPUs, channels, compressors, telemetry — and hands back the
     report = repro.SecureTrainer(ctx, model).train(x, y, max_batches=2)
     print(ctx.telemetry.report())
 
+:func:`serve` stands up the serving layer — N replica deployments (each
+its own session) behind the fleet router with a shared dealer::
+
+    fleet = repro.api.serve(
+        lambda ctx: repro.SecureMLP(ctx, 64, hidden=(32,), n_out=10),
+        replicas=4, placement="least-depth",
+    )
+    fleet.submit("client-a", x_rows)
+    fleet.drain()
+
 Keyword overrides are applied with :meth:`FrameworkConfig.but`, so any
 field of :class:`~repro.core.config.FrameworkConfig` can be tweaked
 without building the config by hand.
@@ -24,7 +34,7 @@ from __future__ import annotations
 from repro.core.config import FrameworkConfig
 from repro.core.context import SecureContext
 
-__all__ = ["session"]
+__all__ = ["serve", "session"]
 
 
 def session(config: FrameworkConfig | None = None, **overrides) -> SecureContext:
@@ -44,3 +54,60 @@ def session(config: FrameworkConfig | None = None, **overrides) -> SecureContext
     if overrides:
         cfg = cfg.but(**overrides)
     return SecureContext.create(cfg)
+
+
+def serve(
+    model_factory,
+    *,
+    replicas: int = 1,
+    config: FrameworkConfig | None = None,
+    placement="hash",
+    max_batch: int = 64,
+    max_wait_s: float = 1e-3,
+    queue_rows: int | None = None,
+    request_retries: int = 2,
+    audit: bool = False,
+    autoscale=None,
+    replica_config=None,
+    **overrides,
+):
+    """Stand up a :class:`~repro.serve.fleet.SecureServingFleet`.
+
+    Parameters
+    ----------
+    model_factory:
+        ``(ctx) -> SecureModel`` — deploys the served model on one
+        replica's context; called once per replica.
+    replicas:
+        Initial replica count (replica *i* runs with ``seed + i``).
+    config / **overrides:
+        Base configuration plus :meth:`FrameworkConfig.but` overrides,
+        exactly like :func:`session`.
+    placement:
+        ``"hash"``, ``"least-depth"``, or a
+        :class:`~repro.serve.placement.PlacementPolicy` instance.
+    autoscale:
+        Optional :class:`~repro.serve.autoscale.AutoscalePolicy` to
+        scale on p95 latency watermarks.
+    replica_config:
+        Optional ``(index, base_config) -> FrameworkConfig`` hook for
+        per-replica config shaping (chaos plans, pool sizes).
+    """
+    from repro.serve.fleet import SecureServingFleet
+
+    cfg = config or FrameworkConfig()
+    if overrides:
+        cfg = cfg.but(**overrides)
+    return SecureServingFleet(
+        model_factory,
+        replicas=replicas,
+        config=cfg,
+        replica_config=replica_config,
+        placement=placement,
+        max_batch=max_batch,
+        max_wait_s=max_wait_s,
+        queue_rows=queue_rows,
+        request_retries=request_retries,
+        audit=audit,
+        autoscale=autoscale,
+    )

@@ -23,6 +23,7 @@ import json
 import sys
 
 from repro.bench.harness import (
+    run_fleet,
     run_plain,
     run_secure,
     run_secure_inference,
@@ -69,6 +70,30 @@ def main(argv: list[str] | None = None) -> int:
         "--clients", type=int, default=4,
         help="logical clients for --serve (default 4)",
     )
+    parser.add_argument(
+        "--replicas", type=int, default=None,
+        help="with --serve: route the clients through a fleet of N "
+        "replica deployments instead of one server",
+    )
+    parser.add_argument(
+        "--placement", choices=["hash", "least-depth"], default="least-depth",
+        help="fleet placement policy (default least-depth)",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=None,
+        help="with --replicas: add a chaos cell where replica 0's "
+        "server1 crashes mid-serve; exits 1 if any request is dropped",
+    )
+    parser.add_argument(
+        "--scale-curve", metavar="N,N,...", default=None,
+        help="with --replicas: also run these replica counts clean and "
+        "report throughput scaling vs the first (e.g. 1,2,4)",
+    )
+    parser.add_argument(
+        "--conformance", action="store_true",
+        help="with --replicas: replay every replica's journal standalone "
+        "and require bit-identical transcripts; exits 1 on divergence",
+    )
     parser.add_argument("--full-scale", action="store_true", help="NIST at 512x512")
     parser.add_argument(
         "--no-extrapolate", action="store_true",
@@ -106,6 +131,71 @@ def main(argv: list[str] | None = None) -> int:
 
     results = []
     rows = []
+    if args.serve and args.replicas is not None:
+        fleet_failed = False
+        counts = (
+            [int(c) for c in args.scale_curve.split(",")]
+            if args.scale_curve else [args.replicas]
+        )
+        for name, cfg in _configs(
+            args.system, pool_size=args.pool_size,
+            static_mask_reuse=args.static_mask_reuse,
+        ):
+            base_tput = None
+            cells = [(r, None) for r in counts]
+            if args.chaos_seed is not None:
+                cells.append((args.replicas, args.chaos_seed))
+            for n_replicas, chaos_seed in cells:
+                res = run_fleet(
+                    args.model, args.dataset, cfg,
+                    replicas=n_replicas, clients=args.clients,
+                    placement=args.placement, batch_size=args.batch_size,
+                    seed=args.seed, chaos_seed=chaos_seed,
+                    conformance=args.conformance,
+                )
+                tput = res.rows_per_online_s
+                if chaos_seed is None and base_tput is None:
+                    base_tput = tput
+                scaling = tput / base_tput if base_tput else None
+                tag = f"chaos(seed={chaos_seed})" if chaos_seed is not None else "clean"
+                print(f"{name:>16}:  {n_replicas} replicas [{tag}]  "
+                      f"{res.requests} requests / {res.rows} rows -> "
+                      f"{res.batches} batches, {res.crashes} crashes, "
+                      f"{res.rerouted} rerouted, {res.dropped} dropped")
+                print(f"{'':>16}   p50 {res.p50_s * 1e3:8.3f} ms   "
+                      f"p95 {res.p95_s * 1e3:8.3f} ms   "
+                      f"{tput:,.0f} rows/s online"
+                      + (f"   scaling {scaling:.2f}x" if scaling is not None
+                         and chaos_seed is None else ""))
+                if res.conformance is not None:
+                    verdict = "ok" if res.conformance_ok else "DIVERGED"
+                    print(f"{'':>16}   conformance replay: {verdict} "
+                          f"({len(res.conformance)} replicas)")
+                if res.dropped != 0 or res.conformance_ok is False:
+                    fleet_failed = True
+                rows.append({
+                    "system": name, "model": args.model, "dataset": args.dataset,
+                    "serve": True, "fleet": True,
+                    "replicas": n_replicas, "placement": res.placement,
+                    "chaos_seed": chaos_seed,
+                    "clients": res.clients, "requests": res.requests,
+                    "rows": res.rows, "batches": res.batches,
+                    "crashes": res.crashes, "rerouted": res.rerouted,
+                    "dropped": res.dropped, "rejected": res.rejected,
+                    "offline_s": res.offline_s, "online_s": res.online_s,
+                    "p50_s": res.p50_s, "p95_s": res.p95_s, "p99_s": res.p99_s,
+                    "rows_per_online_s": tput,
+                    "scaling_x": scaling if chaos_seed is None else None,
+                    "conformance_ok": res.conformance_ok,
+                    "per_replica": res.per_replica,
+                })
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump({"argv": argv if argv is not None else sys.argv[1:],
+                           "rows": rows}, fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        return 1 if fleet_failed else 0
     if args.serve:
         for name, cfg in _configs(
             args.system, pool_size=args.pool_size,

@@ -273,16 +273,16 @@ def run_serving(
     the queueing/padding overhead of the service, and the p50/p95/p99
     come straight out of the request-latency histogram.
     """
-    from repro.serve import SecureInferenceServer
+    from repro.serve import Replica
 
     x, _y, spec = load_workload(
         model_name, dataset, n_batches=n_batches, batch_size=batch_size, seed=seed
     )
     ctx = SecureContext.create(config)
     model = build_secure_model(ctx, spec)
-    server = SecureInferenceServer(
+    server = Replica(
         ctx, model, max_batch=batch_size,
-        max_queue_rows=max(x.shape[0], batch_size), audit=audit,
+        queue_rows=max(x.shape[0], batch_size), audit=audit,
     )
     rng = np.random.default_rng(seed)
     lo = 0
@@ -308,6 +308,159 @@ def run_serving(
         p95_s=rep.latency["p95"],
         p99_s=rep.latency["p99"],
         wire=server.wire_audit() if audit else None,
+    )
+
+
+@dataclass
+class FleetRunResult:
+    """One fleet benchmark: many logical clients over N routed replicas."""
+
+    spec: WorkloadSpec
+    replicas: int
+    placement: str
+    clients: int
+    requests: int
+    rows: int
+    batches: int
+    rerouted: int
+    crashes: int
+    dropped: int
+    rejected: int
+    offline_s: float
+    online_s: float  # fleet makespan: max over replica online clocks
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    per_replica: dict
+    chaos_seed: int | None = None
+    conformance: dict | None = None  # replica -> None (ok) | divergence str
+
+    @property
+    def rows_per_online_s(self) -> float:
+        return self.rows / self.online_s if self.online_s else 0.0
+
+    @property
+    def conformance_ok(self) -> bool | None:
+        if self.conformance is None:
+            return None
+        return all(v is None for v in self.conformance.values())
+
+
+def run_fleet(
+    model_name: str,
+    dataset: str,
+    config: FrameworkConfig,
+    *,
+    replicas: int = 4,
+    clients: int = 1000,
+    placement: str = "least-depth",
+    batch_size: int = 128,
+    seed: int = 0,
+    chaos_seed: int | None = None,
+    conformance: bool = False,
+) -> FleetRunResult:
+    """Serve ``clients`` small requests through a routed replica fleet.
+
+    Each logical client submits one 1–4 row request drawn (cyclically)
+    from the workload's rows; the fleet shards them across ``replicas``
+    deployments.  ``online_s`` is the fleet *makespan* — the max over
+    each replica's own online clock — so throughput scaling across
+    replica counts reads straight off ``rows_per_online_s``.
+
+    With ``chaos_seed`` set, replica 0 runs under a
+    :class:`~repro.faults.FaultPlan` that crashes ``server1`` mid-serve
+    while the fleet retry budget is zero, forcing the crash through the
+    router's recovery path (drain back, respawn, re-route) — the cell
+    proves the zero-drop contract, not peak throughput.  With
+    ``conformance`` on, every replica's journal is replayed standalone
+    and diffed bit-for-bit (requires the audit recorder, so it is
+    enabled automatically).
+    """
+    from repro.faults import FaultPlan, PartyCrash
+    from repro.serve.fleet import SecureServingFleet
+    from repro.util.errors import QueueFullError
+
+    x, _y, spec = load_workload(
+        model_name, dataset, n_batches=2, batch_size=batch_size, seed=seed
+    )
+    replica_config = None
+    request_retries = 2
+    if chaos_seed is not None:
+        plan = FaultPlan(
+            seed=chaos_seed, crashes=(PartyCrash("server1", at_step=3),)
+        )
+        request_retries = 0
+
+        def replica_config(index, cfg):
+            return cfg.but(fault_plan=plan) if index == 0 else cfg
+
+    # Pre-generate the request stream so the admission bound can be sized
+    # to the offered load: the cell measures sharded serving throughput,
+    # not admission control, so backpressure-driven partial batches would
+    # only blur the scaling curve.
+    rng = np.random.default_rng(seed)
+    stream = []
+    lo = 0
+    for i in range(clients):
+        rows = int(rng.integers(1, 5))
+        if lo + rows > x.shape[0]:
+            lo = 0
+        stream.append((f"client{i}", x[lo : lo + rows]))
+        lo += rows
+    total_rows = sum(chunk.shape[0] for _c, chunk in stream)
+    fleet = SecureServingFleet(
+        lambda ctx: build_secure_model(ctx, spec),
+        replicas=replicas,
+        config=config,
+        replica_config=replica_config,
+        placement=placement,
+        max_batch=batch_size,
+        queue_rows=max(total_rows, batch_size),
+        request_retries=request_retries,
+        audit=conformance,
+    )
+    for client, chunk in stream:
+        try:
+            fleet.submit(client, chunk)
+        except QueueFullError:  # retryable backpressure: serve, then resubmit
+            fleet.pump()
+            fleet.submit(client, chunk)
+    fleet.drain()
+    rep = fleet.report()
+    per_replica = {
+        name: {
+            "served_requests": r.served_requests,
+            "served_rows": r.served_rows,
+            "batches": r.batches,
+            "padded_rows": r.padded_rows,
+            "retried_batches": r.retried_batches,
+            "provisioned_triplets": r.provisioned_triplets,
+            "offline_s": r.offline_s,
+            "online_s": r.online_s,
+            "p95_s": r.latency.get("p95", 0.0),
+        }
+        for name, r in rep.replicas.items()
+    }
+    return FleetRunResult(
+        spec=spec,
+        replicas=replicas,
+        placement=placement,
+        clients=clients,
+        requests=rep.served_requests + rep.pending_requests,
+        rows=rep.served_rows,
+        batches=rep.batches,
+        rerouted=rep.rerouted_requests,
+        crashes=rep.replica_crashes,
+        dropped=rep.dropped_requests,
+        rejected=rep.rejected_requests,
+        offline_s=rep.offline_s,
+        online_s=rep.online_s,
+        p50_s=rep.latency["p50"],
+        p95_s=rep.latency["p95"],
+        p99_s=rep.latency["p99"],
+        per_replica=per_replica,
+        chaos_seed=chaos_seed,
+        conformance=fleet.verify_conformance() if conformance else None,
     )
 
 

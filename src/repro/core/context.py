@@ -619,6 +619,17 @@ class SecureContext:
             return 0
         return self.triplet_pool.provision(requests)
 
+    def provision_demand(self, demand) -> int:
+        """Bank triplets for aggregated ``{(kind, shapes): count}`` demand.
+
+        The multi-consumer provisioning path (fleet dealer service):
+        same guards as :meth:`provision_offline`, but takes demand
+        already merged across consumers.
+        """
+        if self.triplet_pool is None or self.config.fresh_triplets or not demand:
+            return 0
+        return self.triplet_pool.provision_demand(demand)
+
     def provision_for(self, model, batch_size: int, *, training: bool = True) -> int:
         """Provision the pool from a model's declared ``offline_plan``.
 

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.tensor import SharedTensor
 from repro.faults.blame import PartyFailure
+from repro.faults.recovery import respawn_party
 from repro.telemetry import maybe_span
 from repro.util.errors import ConfigError
 
@@ -144,21 +145,7 @@ def run_secure_batch(
             with maybe_span(
                 telemetry, "infer.request_retry", clock="online", party=failure.party
             ):
-                if injector is not None:
-                    injector.restart(failure.party)
-                for compressor in getattr(ctx, "compressors", {}).values():
-                    compressor.reset_stream_state()
-                # the restarted server lost its GPU memory and any
-                # previously exchanged masked differences
-                reset_reuse = getattr(ctx, "reset_mask_reuse", None)
-                if reset_reuse is not None:
-                    reset_reuse()
-                if failure.party.startswith("server"):
-                    party_id = int(failure.party[-1])
-                    ctx.server_cpu[party_id].run(
-                        ctx.config.retry_policy.restart_penalty_s,
-                        label="recovery:restart",
-                    )
+                respawn_party(ctx, failure.party)
             if telemetry is not None:
                 telemetry.counter(
                     "faults.requests_retried", "inference batch requests retried"

@@ -36,6 +36,7 @@ from repro.faults.chaos import (
 )
 from repro.faults.injector import FaultDecision, FaultInjector
 from repro.faults.plan import FaultPlan, LinkPartition, PartyCrash, RetryPolicy
+from repro.faults.recovery import respawn_party
 from repro.faults.reliable import ReliableTransport, ResilientChannel
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "PartyFailure",
     "ReliableTransport",
     "ResilientChannel",
+    "respawn_party",
     "ChaosResult",
     "default_chaos_matrix",
     "snapshot_weights",

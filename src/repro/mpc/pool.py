@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.mpc.triplets import ElementwiseTriplet, MatrixTriplet
 from repro.telemetry.registry import MetricRegistry
@@ -124,6 +124,18 @@ class TripletPool:
         for req in requests:
             key = (req.kind, req.shapes)
             demand[key] = demand.get(key, 0) + 1
+        return self.provision_demand(demand)
+
+    def provision_demand(self, demand: Mapping[tuple, int]) -> int:
+        """Generate triplets for pre-aggregated demand counts.
+
+        The multi-consumer entry point: a coordinator (e.g. the fleet's
+        :class:`~repro.serve.dealer.DealerService`) that has already
+        merged many consumers' ``offline_plan`` requests into
+        ``{(kind, shapes): count}`` maps provisions here directly,
+        without materialising one :class:`TripletRequest` per triplet.
+        Fusing is identical to :meth:`provision`.
+        """
         banked = 0
         for (kind, shapes), count in demand.items():
             remaining = count
@@ -175,6 +187,20 @@ class TripletPool:
         return triplet
 
     # -- introspection ----------------------------------------------------------
+
+    def stock_for(self, kind: str, shapes: tuple) -> int:
+        """Triplets currently banked for one (kind, shapes) signature.
+
+        Coordinators use this to top up only the shortfall between a
+        consumer's declared demand and what is already banked.
+        """
+        if kind == "matrix":
+            shape_a, shape_b = shapes
+            bucket = self._matrix.get((tuple(shape_a), tuple(shape_b)))
+        else:
+            (shape,) = shapes
+            bucket = self._elementwise.get(tuple(shape))
+        return len(bucket) if bucket else 0
 
     def stock(self) -> int:
         """Total triplets currently banked, across every shape."""

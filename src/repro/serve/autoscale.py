@@ -1,0 +1,94 @@
+"""Latency-watermark autoscaling for the serving fleet.
+
+The autoscaler reads one signal — the fleet-wide p95 request latency
+over a sliding window of completed responses — and compares it against
+two configurable watermarks: above ``high_p95_s`` it adds a replica,
+below ``low_p95_s`` it retires the emptiest one (draining it first, so
+scaling down never drops a request).  A cooldown in ticks stops it from
+thrashing while a just-added replica is still warming up its queue.
+
+The fleet calls :meth:`FleetAutoscaler.tick` once per pump cycle; the
+autoscaler never owns replicas itself — it only asks the fleet to
+``add_replica()`` / ``retire_replica()``, so every scaling action goes
+through the same journaled, conformance-auditable paths as manual ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Watermarks and bounds for :class:`FleetAutoscaler`."""
+
+    high_p95_s: float  # scale up when fleet p95 exceeds this
+    low_p95_s: float  # scale down when fleet p95 is under this
+    min_replicas: int = 1
+    max_replicas: int = 8
+    window: int = 32  # responses considered for the fleet p95
+    cooldown_ticks: int = 2  # ticks between scaling actions
+
+    def __post_init__(self):
+        if self.low_p95_s < 0 or self.high_p95_s <= self.low_p95_s:
+            raise ConfigError(
+                f"watermarks must satisfy 0 <= low < high, got "
+                f"low={self.low_p95_s} high={self.high_p95_s}"
+            )
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ConfigError(
+                f"need 1 <= min_replicas <= max_replicas, got "
+                f"{self.min_replicas}..{self.max_replicas}"
+            )
+        if self.window < 1:
+            raise ConfigError(f"window must be >= 1, got {self.window}")
+
+
+class FleetAutoscaler:
+    """Add/retire replicas when fleet p95 latency crosses the watermarks."""
+
+    def __init__(self, fleet, policy: AutoscalePolicy):
+        self.fleet = fleet
+        self.policy = policy
+        self._ticks = 0
+        self._last_action_tick = -policy.cooldown_ticks
+        t = fleet.telemetry
+        self._actions = t.counter(
+            "fleet.autoscale.actions", "autoscaler decisions, by direction"
+        )
+        self._p95_gauge = t.gauge(
+            "fleet.autoscale.p95_seconds", "fleet p95 latency at last tick"
+        )
+
+    def fleet_p95(self) -> float | None:
+        """p95 latency over the last ``window`` responses (None if none)."""
+        recent = self.fleet.responses[-self.policy.window:]
+        if not recent:
+            return None
+        return float(np.quantile([r.latency_s for r in recent], 0.95))
+
+    def tick(self) -> str | None:
+        """One autoscaling decision; returns "up", "down", or None."""
+        self._ticks += 1
+        p95 = self.fleet_p95()
+        if p95 is None:
+            return None
+        self._p95_gauge.set(p95)
+        if self._ticks - self._last_action_tick < self.policy.cooldown_ticks:
+            return None
+        n = len(self.fleet.replicas())
+        if p95 > self.policy.high_p95_s and n < self.policy.max_replicas:
+            self.fleet.add_replica()
+            self._last_action_tick = self._ticks
+            self._actions.inc(1, direction="up")
+            return "up"
+        if p95 < self.policy.low_p95_s and n > self.policy.min_replicas:
+            self.fleet.retire_replica()
+            self._last_action_tick = self._ticks
+            self._actions.inc(1, direction="down")
+            return "down"
+        return None

@@ -58,7 +58,12 @@ class AdaptiveBatcher:
         if queue.depth_rows >= self.max_batch:
             return True
         oldest = queue.oldest_enqueue_t()
-        return oldest is not None and now - oldest >= self.max_wait_s
+        # Same arithmetic as timer_deadline(): comparing ``now`` against
+        # ``oldest + max_wait_s`` (rather than ``now - oldest`` against
+        # ``max_wait_s``) keeps the two agreeing under float rounding —
+        # otherwise a clock advanced exactly to the deadline can appear
+        # not-yet-fired and the server spins re-arming the same timer.
+        return oldest is not None and now >= oldest + self.max_wait_s
 
     def timer_deadline(self, queue: RequestQueue) -> float | None:
         """Online-clock time at which the head request's timer fires."""

@@ -1,0 +1,113 @@
+"""Shared dealer service: one offline provisioner for a replica fleet.
+
+Each replica owns its own :class:`~repro.mpc.pool.TripletPool` (offline
+material is bound to a context's RNG streams and clocks), but *deciding*
+what to provision is a fleet-level job: the :class:`DealerService`
+aggregates every replica's forward-only ``offline_plan`` demand at the
+fixed batch shape, nets out what each pool already stocks, and tops up
+each replica through the multi-consumer
+:meth:`~repro.mpc.pool.TripletPool.provision_demand` path — one fused
+generation pass per replica, on that replica's offline clock, before its
+first batch runs.
+
+The service is idempotent per replica (label-cached triplets mean one
+pass at the batch shape covers every subsequent batch) and lazily keyed
+to queued work, so an idle or autoscaled-in replica costs nothing until
+a request actually lands on it.  Telemetry (on the fleet registry):
+
+* ``fleet.dealer.provisions`` — provisioning passes, by replica;
+* ``fleet.dealer.triplets`` — triplets banked, by replica;
+* ``fleet.dealer.demand`` — gauge of the last aggregated fleet demand.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.telemetry import Telemetry
+
+
+def demand_map(model, batch_size: int) -> dict[tuple, int]:
+    """Aggregate a model's forward-only offline plan into demand counts."""
+    plan = getattr(model, "offline_plan", None)
+    if plan is None:
+        return {}
+    demand: dict[tuple, int] = {}
+    for req in plan(batch_size, training=False):
+        key = (req.kind, req.shapes)
+        demand[key] = demand.get(key, 0) + 1
+    return demand
+
+
+class DealerService:
+    """Provision replica triplet pools from aggregated offline demand."""
+
+    def __init__(
+        self,
+        *,
+        telemetry: Telemetry | None = None,
+        on_provision: Callable[[str, dict], None] | None = None,
+    ):
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        #: Hook called as ``on_provision(replica_name, demand)`` after a
+        #: pass lands — the fleet journals it for conformance replay.
+        self.on_provision = on_provision
+        self._provisioned: set[str] = set()
+        self._passes = self.telemetry.counter(
+            "fleet.dealer.provisions", "dealer provisioning passes, by replica"
+        )
+        self._triplets = self.telemetry.counter(
+            "fleet.dealer.triplets", "triplets banked by the dealer, by replica"
+        )
+        self._demand_gauge = self.telemetry.gauge(
+            "fleet.dealer.demand", "aggregated fleet triplet demand at last provision"
+        )
+
+    def forget(self, replica_name: str) -> None:
+        """Drop a retired replica's provisioning record."""
+        self._provisioned.discard(replica_name)
+
+    def provision(self, replicas: Iterable) -> int:
+        """Top up every replica with queued work; returns triplets banked.
+
+        Demand is aggregated fleet-wide for the telemetry gauge, then
+        each un-provisioned replica's shortfall (declared demand minus
+        current pool stock) is generated in that replica's pool.
+        """
+        pending = [
+            r for r in replicas
+            if r.name not in self._provisioned and len(r.queue)
+        ]
+        if not pending:
+            return 0
+        fleet_demand = 0
+        banked = 0
+        for replica in pending:
+            demand = demand_map(replica.model, replica.batcher.max_batch)
+            fleet_demand += sum(demand.values())
+            shortfall = self._shortfall(replica, demand)
+            self._provisioned.add(replica.name)
+            if not shortfall:
+                continue
+            count = int(replica.ctx.provision_demand(shortfall))
+            replica.note_provisioned(count)
+            self._passes.inc(1, replica=replica.name)
+            self._triplets.inc(count, replica=replica.name)
+            if self.on_provision is not None:
+                self.on_provision(replica.name, shortfall)
+            banked += count
+        self._demand_gauge.set(fleet_demand)
+        return banked
+
+    @staticmethod
+    def _shortfall(replica, demand: dict[tuple, int]) -> dict[tuple, int]:
+        """Demand not already covered by the replica's pool stock."""
+        pool = getattr(replica.ctx, "triplet_pool", None)
+        if pool is None:
+            return dict(demand)
+        short: dict[tuple, int] = {}
+        for (kind, shapes), count in demand.items():
+            missing = count - pool.stock_for(kind, shapes)
+            if missing > 0:
+                short[(kind, shapes)] = missing
+        return short

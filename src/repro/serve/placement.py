@@ -1,0 +1,128 @@
+"""Pluggable replica placement for the serving fleet.
+
+A placement policy turns ``(client_id, live replicas)`` into a
+*preference order* — the router tries the first choice, failing over
+down the list on queue-full backpressure.  Two built-ins:
+
+* :class:`ConsistentHashPlacement` (``"hash"``) — a blake2b hash ring
+  with virtual nodes.  A client's requests stick to one replica
+  (session affinity: its offline material, mask-reuse caches, and
+  compressor state stay warm), and adding or removing a replica moves
+  only the clients whose ring owner changed — everyone else stays put.
+* :class:`LeastDepthPlacement` (``"least-depth"``) — greedy
+  least-queue-depth, read from each replica's ``serve.queue_depth_rows``
+  telemetry gauge; maximises fill/balance at the cost of affinity.
+
+Policies only ever see the replicas the router considers *healthy* — a
+crashed replica is filtered out before ranking, so no policy can route
+to one.  Policies are duck-typed on ``name`` / ``queued_rows``, so
+tests can rank lightweight stand-ins without a live deployment.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.util.errors import ConfigError
+
+
+def _token(key: str) -> int:
+    """Stable 64-bit placement hash (process-independent, unlike hash())."""
+    return int.from_bytes(
+        hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+class PlacementPolicy:
+    """Base class: rank live replicas for one client's request."""
+
+    name = "base"
+
+    def add_replica(self, replica_name: str) -> None:
+        """A replica joined the fleet (hash rings grow their tokens here)."""
+
+    def remove_replica(self, replica_name: str) -> None:
+        """A replica left the fleet (retired or permanently removed)."""
+
+    def rank(self, client_id: str, replicas: list) -> list:
+        """Preference-ordered replicas for ``client_id`` (best first).
+
+        ``replicas`` are the healthy replicas only; the router never
+        offers a crashed one.
+        """
+        raise NotImplementedError
+
+
+class ConsistentHashPlacement(PlacementPolicy):
+    """Blake2b hash ring with virtual nodes: stable session affinity."""
+
+    name = "hash"
+
+    def __init__(self, *, vnodes: int = 64):
+        if vnodes < 1:
+            raise ConfigError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._ring: list[tuple[int, str]] = []  # sorted (token, replica name)
+
+    def add_replica(self, replica_name: str) -> None:
+        for v in range(self.vnodes):
+            bisect.insort(self._ring, (_token(f"{replica_name}#{v}"), replica_name))
+
+    def remove_replica(self, replica_name: str) -> None:
+        self._ring = [entry for entry in self._ring if entry[1] != replica_name]
+
+    def owner(self, client_id: str, names: list[str]) -> str | None:
+        """The first replica in ``names`` met walking the ring clockwise."""
+        order = self._walk(client_id, set(names))
+        return order[0] if order else None
+
+    def _walk(self, client_id: str, candidates: set[str]) -> list[str]:
+        """Distinct candidate names in ring order from the client's token."""
+        if not self._ring or not candidates:
+            return []
+        start = bisect.bisect_right(self._ring, (_token(str(client_id)), ""))
+        seen: list[str] = []
+        for i in range(len(self._ring)):
+            name = self._ring[(start + i) % len(self._ring)][1]
+            if name in candidates and name not in seen:
+                seen.append(name)
+                if len(seen) == len(candidates):
+                    break
+        return seen
+
+    def rank(self, client_id: str, replicas: list) -> list:
+        by_name = {r.name: r for r in replicas}
+        order = [by_name[n] for n in self._walk(client_id, set(by_name))]
+        # replicas never registered on the ring go last (defensive)
+        order.extend(r for r in replicas if r not in order)
+        return order
+
+
+class LeastDepthPlacement(PlacementPolicy):
+    """Route to the emptiest queue, by the ``serve.queue_depth_rows`` gauge."""
+
+    name = "least-depth"
+
+    def rank(self, client_id: str, replicas: list) -> list:
+        return sorted(replicas, key=lambda r: (r.queued_rows, r.name))
+
+
+_POLICIES = {
+    "hash": ConsistentHashPlacement,
+    "least-depth": LeastDepthPlacement,
+    "least_depth": LeastDepthPlacement,
+}
+
+
+def make_placement(policy) -> PlacementPolicy:
+    """Resolve a policy name (``"hash"`` / ``"least-depth"``) or instance."""
+    if isinstance(policy, PlacementPolicy):
+        return policy
+    try:
+        return _POLICIES[str(policy)]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown placement policy {policy!r}; choose from "
+            f"{sorted(set(_POLICIES))} or pass a PlacementPolicy"
+        ) from None

@@ -97,6 +97,26 @@ class RequestQueue:
         self._depth_rows += request.rows
         self._depth_gauge.set(self._depth_rows)
 
+    def admit_forced(self, request: InferenceRequest) -> None:
+        """Enqueue at the tail bypassing the row bound.
+
+        Recovery path only (a request re-routed off a crashed replica):
+        the request was already admitted into the fleet once and must
+        not be lost to backpressure on its new home.
+        """
+        self._queue.append(request)
+        self._depth_rows += request.rows
+        self._admitted.inc(1, client=request.client_id)
+        self._depth_gauge.set(self._depth_rows)
+
+    def take_all(self) -> list[InferenceRequest]:
+        """Remove and return every queued request (crash-drain path)."""
+        taken = list(self._queue)
+        self._queue.clear()
+        self._depth_rows = 0
+        self._depth_gauge.set(0)
+        return taken
+
     # -- consumption (batcher side) ---------------------------------------------
 
     def pop_upto(self, max_rows: int) -> list[InferenceRequest]:
