@@ -59,6 +59,8 @@ from repro.serve import (
 )
 from repro.telemetry import Telemetry
 from repro import audit
+from repro import protocols
+from repro.protocols import available_backends, get_backend
 from repro.audit import (
     Transcript,
     TranscriptRecorder,
@@ -70,7 +72,7 @@ from repro import serve
 
 # Single source of truth for the distribution version: pyproject.toml
 # reads this attribute via [tool.setuptools.dynamic].
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "api",
@@ -108,6 +110,9 @@ __all__ = [
     "RetryPolicy",
     "ReliableTransport",
     "audit",
+    "protocols",
+    "get_backend",
+    "available_backends",
     "Transcript",
     "TranscriptRecorder",
     "WireAuditReport",

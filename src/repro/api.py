@@ -37,7 +37,12 @@ from repro.core.context import SecureContext
 __all__ = ["serve", "session"]
 
 
-def session(config: FrameworkConfig | None = None, **overrides) -> SecureContext:
+def session(
+    config: FrameworkConfig | None = None,
+    *,
+    backend: str | None = None,
+    **overrides,
+) -> SecureContext:
     """Create a fully wired :class:`SecureContext`.
 
     Parameters
@@ -45,12 +50,19 @@ def session(config: FrameworkConfig | None = None, **overrides) -> SecureContext
     config:
         Base configuration; defaults to ``FrameworkConfig()`` (the
         ParSecureML preset).
+    backend:
+        Protocol backend name from :func:`repro.protocols.get_backend`
+        (``"beaver2pc"`` — the default dealer-assisted 2PC path — or
+        ``"rep3"``, dealer-free 3-party replicated sharing).  Omitting
+        it keeps the configured backend (``beaver2pc`` by default).
     **overrides:
         Field overrides applied on top of ``config`` via
         :meth:`FrameworkConfig.but` (e.g. ``trace=True``,
         ``compression=False``, ``seed=7``).
     """
     cfg = config or FrameworkConfig()
+    if backend is not None:
+        overrides["backend"] = backend
     if overrides:
         cfg = cfg.but(**overrides)
     return SecureContext.create(cfg)
@@ -69,6 +81,7 @@ def serve(
     audit: bool = False,
     autoscale=None,
     replica_config=None,
+    backend: str | None = None,
     **overrides,
 ):
     """Stand up a :class:`~repro.serve.fleet.SecureServingFleet`.
@@ -92,10 +105,17 @@ def serve(
     replica_config:
         Optional ``(index, base_config) -> FrameworkConfig`` hook for
         per-replica config shaping (chaos plans, pool sizes).
+    backend:
+        Protocol backend every replica runs (``"beaver2pc"`` default,
+        ``"rep3"`` for dealer-free 3-party replicated sharing); the
+        fleet's shared :class:`~repro.serve.dealer.DealerService`
+        no-ops for dealer-free replicas.
     """
     from repro.serve.fleet import SecureServingFleet
 
     cfg = config or FrameworkConfig()
+    if backend is not None:
+        overrides["backend"] = backend
     if overrides:
         cfg = cfg.but(**overrides)
     return SecureServingFleet(

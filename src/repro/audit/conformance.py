@@ -83,7 +83,7 @@ TRAIN_TOL = 2.5e-2
 
 @dataclass(frozen=True)
 class ConformanceCase:
-    """One cell of the sweep: a model under a config axis."""
+    """One cell of the sweep: a model under a config axis and backend."""
 
     model: str
     axis: str
@@ -91,22 +91,31 @@ class ConformanceCase:
     batch_size: int = 16
     n_batches: int = 2
     train: bool = False
+    backend: str = "beaver2pc"
 
     def __post_init__(self):
         if self.model not in CONFORMANCE_MODELS:
             raise ConfigError(f"unknown conformance model {self.model!r}")
         if self.axis not in CONFORMANCE_AXES:
             raise ConfigError(f"unknown conformance axis {self.axis!r}")
+        from repro.protocols import available_backends
+
+        if self.backend not in available_backends():
+            raise ConfigError(
+                f"unknown protocol backend {self.backend!r}; "
+                f"available: {available_backends()}"
+            )
 
     @property
     def name(self) -> str:
         mode = "train" if self.train else "infer"
-        return f"{self.model}/{self.axis}/{mode}"
+        suffix = "" if self.backend == "beaver2pc" else f"/{self.backend}"
+        return f"{self.model}/{self.axis}/{mode}{suffix}"
 
     def config(self) -> FrameworkConfig:
         base = FrameworkConfig.parsecureml(activation_protocol="emulated")
         overrides = dict(CONFORMANCE_AXES[self.axis])
-        return base.but(seed=self.seed, **overrides)
+        return base.but(seed=self.seed, backend=self.backend, **overrides)
 
     @property
     def tol(self) -> float:
@@ -256,11 +265,13 @@ def run_conformance_sweep(
     seed: int = 0,
     train: bool = False,
     audit: bool = False,
+    backend: str = "beaver2pc",
 ) -> list[ConformanceResult]:
     """The full differential matrix; returns every cell's verdict."""
     return [
         run_conformance_case(
-            ConformanceCase(model=m, axis=a, seed=seed, train=train), audit=audit
+            ConformanceCase(model=m, axis=a, seed=seed, train=train, backend=backend),
+            audit=audit,
         )
         for m in models
         for a in axes

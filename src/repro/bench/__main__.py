@@ -33,7 +33,13 @@ from repro.bench.workloads import BENCH_DATASETS, BENCH_MODELS
 from repro.core.config import FrameworkConfig
 
 
-def _configs(which: str, *, pool_size: int = 0, static_mask_reuse: bool = False):
+def _configs(
+    which: str,
+    *,
+    pool_size: int = 0,
+    static_mask_reuse: bool = False,
+    backends: list[str] | None = None,
+):
     par = FrameworkConfig.parsecureml(activation_protocol="emulated")
     sml = FrameworkConfig.secureml(activation_protocol="emulated")
     rows = {"par": [("ParSecureML", par)], "sml": [("SecureML", sml)],
@@ -43,6 +49,12 @@ def _configs(which: str, *, pool_size: int = 0, static_mask_reuse: bool = False)
             par, pool_size=pool_size, static_mask_reuse=static_mask_reuse
         )
         rows = [*rows, ("ParSecureML+pool", pooled)]
+    if backends:
+        rows = [
+            (f"{name}[{b}]", dataclasses.replace(cfg, backend=b))
+            for name, cfg in rows
+            for b in backends
+        ]
     return rows
 
 
@@ -109,6 +121,11 @@ def main(argv: list[str] | None = None) -> int:
         "--static-mask-reuse", action="store_true",
         help="cache masked differences of static operands in the pooled row",
     )
+    parser.add_argument(
+        "--backend", action="append", metavar="NAME", default=None,
+        help="protocol backend to run (beaver2pc, rep3); repeat the flag "
+        "to compare backends side by side in one invocation",
+    )
     parser.add_argument("--json", metavar="PATH",
                         help="also write the result rows as JSON")
     parser.add_argument(
@@ -139,7 +156,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         for name, cfg in _configs(
             args.system, pool_size=args.pool_size,
-            static_mask_reuse=args.static_mask_reuse,
+            static_mask_reuse=args.static_mask_reuse, backends=args.backend,
         ):
             base_tput = None
             cells = [(r, None) for r in counts]
@@ -175,6 +192,7 @@ def main(argv: list[str] | None = None) -> int:
                     fleet_failed = True
                 rows.append({
                     "system": name, "model": args.model, "dataset": args.dataset,
+                    "backend": cfg.backend,
                     "serve": True, "fleet": True,
                     "replicas": n_replicas, "placement": res.placement,
                     "chaos_seed": chaos_seed,
@@ -199,7 +217,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.serve:
         for name, cfg in _configs(
             args.system, pool_size=args.pool_size,
-            static_mask_reuse=args.static_mask_reuse,
+            static_mask_reuse=args.static_mask_reuse, backends=args.backend,
         ):
             res = run_serving(
                 args.model, args.dataset, cfg,
@@ -214,6 +232,7 @@ def main(argv: list[str] | None = None) -> int:
                   f"{res.rows_per_online_s:,.0f} rows/s online")
             rows.append({
                 "system": name, "model": args.model, "dataset": args.dataset,
+                "backend": cfg.backend,
                 "serve": True, "clients": res.clients, "requests": res.requests,
                 "rows": res.rows, "batches": res.batches,
                 "batch_fill": res.batch_fill, "padded_rows": res.padded_rows,
@@ -230,7 +249,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {args.json}")
         return 1 if audit_failed else 0
     for name, cfg in _configs(
-        args.system, pool_size=args.pool_size, static_mask_reuse=args.static_mask_reuse
+        args.system, pool_size=args.pool_size,
+        static_mask_reuse=args.static_mask_reuse, backends=args.backend,
     ):
         if args.inference:
             res = run_secure_inference(
@@ -256,10 +276,14 @@ def main(argv: list[str] | None = None) -> int:
             "system": name,
             "model": args.model,
             "dataset": args.dataset,
+            "backend": cfg.backend,
             "offline_s": res.offline_s(n),
             "online_s": res.online_s(n),
             "total_s": res.total_s(n),
             "scope": scope,
+            "server_bytes": res.server_bytes,
+            "raw_comm_bytes": res.raw_comm_bytes,
+            "wire_comm_bytes": res.wire_comm_bytes,
             "pool_size": cfg.pool_size,
             "static_mask_reuse": cfg.static_mask_reuse,
         })

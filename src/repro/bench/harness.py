@@ -121,7 +121,10 @@ def _secure_result_from_snapshot(
         sharing_offline_s=sharing,
         setup_offline_s=max(0.0, offline_total - sharing),
         per_batch_online_s=per_batch,
-        server_bytes=int(snap.counter("comm.bytes", channel=ctx.server_channel.label)),
+        server_bytes=sum(
+            int(snap.counter("comm.bytes", channel=link.label))
+            for link in ctx.server_links.values()
+        ),
         raw_comm_bytes=int(snap.counter("comm.compression.raw_bytes")),
         wire_comm_bytes=int(snap.counter("comm.compression.wire_bytes")),
         losses=losses,

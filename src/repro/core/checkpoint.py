@@ -67,12 +67,13 @@ def save_model(model, directory: str | Path, *, extra: dict | None = None) -> Pa
     params = _named_parameters(model)
     if not params:
         raise ConfigError("model exposes no SharedTensor parameters to checkpoint")
-    for party in (0, 1):
+    for party in range(model.ctx.n_parties):
         arrays = {name: tensor.shares[party] for name, tensor in params}
         np.savez(directory / f"server{party}.npz", **arrays)
     manifest = {
         "format": "repro-shared-model-v1",
         "frac_bits": model.ctx.encoder.frac_bits,
+        "n_parties": model.ctx.n_parties,
         "parameters": [
             {"name": name, "shape": list(tensor.shape), "kind": tensor.kind}
             for name, tensor in params
@@ -109,7 +110,13 @@ def load_model(model, directory: str | Path) -> dict:
             f"model/checkpoint inventory mismatch; missing={sorted(missing)}, "
             f"unexpected={sorted(extra)}"
         )
-    archives = [np.load(directory / f"server{p}.npz") for p in (0, 1)]
+    n_parties = int(manifest.get("n_parties", 2))
+    if n_parties != model.ctx.n_parties:
+        raise ProtocolError(
+            f"checkpoint holds {n_parties} share archives, "
+            f"context expects {model.ctx.n_parties}"
+        )
+    archives = [np.load(directory / f"server{p}.npz") for p in range(n_parties)]
     for name, tensor in params.items():
         meta = expected[name]
         if list(tensor.shape) != meta["shape"]:
@@ -118,7 +125,7 @@ def load_model(model, directory: str | Path) -> dict:
                 f"checkpoint shape {tuple(meta['shape'])}"
             )
         shares = []
-        for party in (0, 1):
+        for party in range(n_parties):
             arr = archives[party][name]
             if list(arr.shape) != meta["shape"] or arr.dtype != np.uint64:
                 raise ProtocolError(
@@ -126,6 +133,6 @@ def load_model(model, directory: str | Path) -> dict:
                     f"shape {arr.shape}/{arr.dtype}, expected {meta['shape']}/uint64"
                 )
             shares.append(arr)
-        tensor.shares = (shares[0], shares[1])
+        tensor.shares = tuple(shares)
         tensor.kind = meta["kind"]
     return dict(manifest.get("extra", {}))

@@ -27,6 +27,12 @@ from repro.util.errors import ConfigError
 class FrameworkConfig:
     """All knobs of the secure training/inference stack."""
 
+    # MPC substrate (repro.protocols registry name).  "beaver2pc" is the
+    # paper's 2-party Beaver-triplet protocol; "rep3" is dealer-free
+    # 3-party replicated sharing.  Validated lazily by
+    # repro.protocols.get_backend so third-party registrations work.
+    backend: str = "beaver2pc"
+
     # numeric representation
     frac_bits: int = 13
 

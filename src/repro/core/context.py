@@ -35,12 +35,14 @@ from repro.fixedpoint.ring import ring_matmul, ring_matmul_batched, ring_mul, ri
 from repro.mpc.comparison import ComparisonBundle, ComparisonDealer
 from repro.mpc.pool import TripletPool, TripletRequest
 from repro.mpc.prandom import ThreadSafeGeneratorPool, parallel_uniform_ring
-from repro.mpc.shares import SharePair, share_secret
+from repro.mpc.shares import SharePair
 from repro.mpc.triplets import ElementwiseTriplet, MatrixTriplet
 from repro.pipeline.profiler import StepProfiler
+from repro.protocols import get_backend
 from repro.simgpu.clock import SimClock
 from repro.simgpu.device import SimCPU, SimGPU
 from repro.telemetry import Telemetry
+from repro.util.errors import ProtocolError
 from repro.util.seeding import SeedSequenceFactory
 
 
@@ -74,7 +76,12 @@ class PhaseDelta:
 
 
 class SecureContext:
-    """Client + two servers with simulated devices and channels."""
+    """Client + n servers with simulated devices and channels.
+
+    The server count comes from the protocol backend
+    (``config.backend``): two for the paper's ``beaver2pc``, three for
+    ``rep3`` replicated sharing.
+    """
 
     def __init__(self, config: FrameworkConfig | None = None):
         self.config = config or FrameworkConfig()
@@ -82,6 +89,12 @@ class SecureContext:
         self.encoder = FixedPointEncoder(cfg.frac_bits)
         self.seeds = SeedSequenceFactory(cfg.seed)
         self.rng = self.seeds.generator("context")
+
+        # The MPC substrate: share algebra + interactive protocols.
+        # Everything below sizes itself off backend.n_parties (2 for the
+        # paper's beaver2pc, 3 for replicated sharing).
+        self.backend = get_backend(cfg.backend)
+        self.n_parties = self.backend.n_parties
 
         # One telemetry surface for the whole deployment: every channel,
         # device and compressor below records into this registry, and
@@ -115,12 +128,14 @@ class SecureContext:
             if cfg.use_gpu
             else None
         )
-        self.uplink0 = Channel(
-            self.offline_clock, cfg.uplink, "client", "server0", telemetry=self.telemetry
-        )
-        self.uplink1 = Channel(
-            self.offline_clock, cfg.uplink, "client", "server1", telemetry=self.telemetry
-        )
+        self.uplinks = [
+            Channel(
+                self.offline_clock, cfg.uplink, "client", f"server{i}", telemetry=self.telemetry
+            )
+            for i in range(self.n_parties)
+        ]
+        self.uplink0 = self.uplinks[0]
+        self.uplink1 = self.uplinks[1]
 
         # --- online side (servers) --------------------------------------------
         self.online_clock = SimClock()
@@ -134,7 +149,7 @@ class SecureContext:
                 parallel_enabled=cfg.cpu_parallel,
                 telemetry=self.telemetry,
             )
-            for i in (0, 1)
+            for i in range(self.n_parties)
         ]
         # Pipeline 2 (Fig. 6): with the double pipeline on, each server
         # runs its reconstruct steps in a dedicated thread, so they can
@@ -149,7 +164,7 @@ class SecureContext:
                     parallel_enabled=cfg.cpu_parallel,
                     telemetry=self.telemetry,
                 )
-                for i in (0, 1)
+                for i in range(self.n_parties)
             ]
         else:
             self.server_reconstruct_cpu = self.server_cpu
@@ -164,31 +179,42 @@ class SecureContext:
             )
             if cfg.use_gpu
             else None
-            for i in (0, 1)
+            for i in range(self.n_parties)
         ]
-        # Fault tolerance: under a FaultPlan the inter-server link (the
-        # online hot path) becomes adversarial, and every retransmission
-        # byte / backoff wait is charged on this clock and channel so
-        # recovery costs show up in makespans.
+        # Fault tolerance: under a FaultPlan the server0<->server1 link
+        # (the online hot path) becomes adversarial, and every
+        # retransmission byte / backoff wait is charged on this clock
+        # and channel so recovery costs show up in makespans.
         self.fault_injector = (
             FaultInjector(cfg.fault_plan, telemetry=self.telemetry)
             if cfg.fault_plan is not None
             else None
         )
-        if self.fault_injector is not None:
-            self.server_channel = ResilientChannel(
-                self.online_clock,
-                cfg.server_link,
-                "server0",
-                "server1",
-                telemetry=self.telemetry,
-                injector=self.fault_injector,
-                policy=cfg.retry_policy,
-            )
-        else:
-            self.server_channel = Channel(
-                self.online_clock, cfg.server_link, "server0", "server1", telemetry=self.telemetry
-            )
+        # One channel per server pair; server_channel stays the
+        # historical alias for the (0, 1) link.
+        self.server_links: dict[tuple[int, int], Channel] = {}
+        for i in range(self.n_parties):
+            for j in range(i + 1, self.n_parties):
+                if (i, j) == (0, 1) and self.fault_injector is not None:
+                    link = ResilientChannel(
+                        self.online_clock,
+                        cfg.server_link,
+                        "server0",
+                        "server1",
+                        telemetry=self.telemetry,
+                        injector=self.fault_injector,
+                        policy=cfg.retry_policy,
+                    )
+                else:
+                    link = Channel(
+                        self.online_clock,
+                        cfg.server_link,
+                        f"server{i}",
+                        f"server{j}",
+                        telemetry=self.telemetry,
+                    )
+                self.server_links[(i, j)] = link
+        self.server_channel = self.server_links[(0, 1)]
         self.compressors = {
             (0, 1): DeltaCompressor(
                 cfg.compression_threshold,
@@ -238,7 +264,7 @@ class SecureContext:
                 max_batch=cfg.pool_size,
                 telemetry=self.telemetry,
             )
-            if cfg.pool_size > 0
+            if cfg.pool_size > 0 and self.backend.needs_dealer
             else None
         )
 
@@ -278,9 +304,24 @@ class SecureContext:
         self.recorder = None
 
     @classmethod
-    def create(cls, config: FrameworkConfig | None = None) -> "SecureContext":
-        """The blessed builder (what :func:`repro.api.session` returns)."""
-        return cls(config=config)
+    def create(
+        cls, config: FrameworkConfig | None = None, *, backend: str | None = None
+    ) -> "SecureContext":
+        """The blessed builder (what :func:`repro.api.session` returns).
+
+        ``backend`` overrides the config's protocol backend — e.g.
+        ``SecureContext.create(backend="rep3")`` for 3-party replicated
+        sharing instead of the default ``beaver2pc``.
+        """
+        cfg = config or FrameworkConfig()
+        if backend is not None and backend != cfg.backend:
+            cfg = cfg.but(backend=backend)
+        return cls(config=cfg)
+
+    def server_link(self, i: int, j: int) -> Channel:
+        """The channel between servers ``i`` and ``j`` (order-free)."""
+        key = (i, j) if i < j else (j, i)
+        return self.server_links[key]
 
     # -- thin views over the registry (historical counter surface) -------------
 
@@ -298,8 +339,8 @@ class SecureContext:
         return PhaseMark(
             offline_s=self.offline_clock.now(),
             online_s=self.online_clock.now(),
-            server_bytes=self.server_channel.total_bytes,
-            uplink_bytes=self.uplink0.total_bytes + self.uplink1.total_bytes,
+            server_bytes=sum(link.total_bytes for link in self.server_links.values()),
+            uplink_bytes=sum(up.total_bytes for up in self.uplinks),
         )
 
     def since(self, mark: PhaseMark) -> PhaseDelta:
@@ -382,22 +423,29 @@ class SecureContext:
         )
 
     def _upload(
-        self, nbytes_per_server: int, label: str, contents: tuple | None = None
+        self,
+        nbytes_per_server: int,
+        label: str,
+        contents: tuple | None = None,
+        parties: tuple[int, ...] | None = None,
     ) -> None:
         """Charge the client->server transfer of offline material.
 
-        ``contents`` optionally carries the per-server payloads
-        ``(to_server0, to_server1)`` so an attached recorder can hash
-        and audit what each server actually received; without it the
-        upload is logged size-only.
+        ``contents`` optionally carries the per-server payloads (one
+        entry per uploaded-to server, in ``parties`` order) so an
+        attached recorder can hash and audit what each server actually
+        received; without it the upload is logged size-only.  ``parties``
+        restricts the upload to a subset of servers (e.g. the two
+        comparing parties of a 3-party backend); default is all.
         """
-        self.uplink0.send("client", "server0", nbytes_per_server, label=label)
-        self.uplink1.send("client", "server1", nbytes_per_server, label=label)
+        targets = tuple(range(self.n_parties)) if parties is None else tuple(parties)
+        for i in targets:
+            self.uplinks[i].send("client", f"server{i}", nbytes_per_server, label=label)
         if self.recorder is not None:
-            for i in (0, 1):
+            for idx, i in enumerate(targets):
                 self.record_wire(
                     "client", f"server{i}", label,
-                    contents[i] if contents is not None else None,
+                    contents[idx] if contents is not None else None,
                     nbytes=nbytes_per_server, clock="offline",
                 )
 
@@ -423,13 +471,20 @@ class SecureContext:
         z, _ = self.client_cpu.gemm_ring(u, v, label="offline:U@V")
         return z
 
-    def _share_with_timing(self, secret: np.ndarray, label: str) -> SharePair:
-        """share_secret plus the client-side cost it implies."""
-        self._charge_client_rng(secret.nbytes, f"{label}:rng")
-        self._charge_client_elementwise(2 * secret.nbytes, f"{label}:split")
-        return share_secret(secret, self.rng)
+    def _share_with_timing(self, secret: np.ndarray, label: str):
+        """Backend share split plus the client-side cost it implies.
 
-    def share_plain(self, plain: np.ndarray, label: str = "input") -> SharePair:
+        Returns the backend's share container (a :class:`SharePair` for
+        2-party backends, a plain tuple otherwise) — always indexable by
+        party.  Costs scale with the share count: n-1 mask draws and n
+        subtract/copy passes.
+        """
+        n = self.n_parties
+        self._charge_client_rng((n - 1) * secret.nbytes, f"{label}:rng")
+        self._charge_client_elementwise(n * secret.nbytes, f"{label}:split")
+        return self.backend.share_secret(secret, self.rng)
+
+    def share_plain(self, plain: np.ndarray, label: str = "input"):
         """Encode and secret-share client data; charges encrypt + upload.
 
         The float->ring encoding is the dominant cost of the client's
@@ -443,20 +498,25 @@ class SecureContext:
         )
         pair = self._share_with_timing(encoded, label)
         self._upload(
-            encoded.nbytes, f"{label}:upload", contents=(pair.share0, pair.share1)
+            self.backend.upload_nbytes(encoded.nbytes),
+            f"{label}:upload",
+            contents=self.backend.upload_payloads(pair),
         )
         return pair
 
-    def share_ring(self, encoded: np.ndarray, label: str = "input") -> SharePair:
+    def share_ring(self, encoded: np.ndarray, label: str = "input"):
         """Share an already-encoded ring matrix."""
         pair = self._share_with_timing(encoded, label)
         self._upload(
-            encoded.nbytes, f"{label}:upload", contents=(pair.share0, pair.share1)
+            self.backend.upload_nbytes(encoded.nbytes),
+            f"{label}:upload",
+            contents=self.backend.upload_payloads(pair),
         )
         return pair
 
     def gen_matrix_triplet(self, shape_a, shape_b) -> MatrixTriplet:
         """Offline generation of one matrix Beaver triplet, fully costed."""
+        self._require_dealer("gen_matrix_triplet")
         rng = self._dealer_rng
         u = rng.integers(0, 2**64, size=shape_a, dtype=np.uint64)
         v = rng.integers(0, 2**64, size=shape_b, dtype=np.uint64)
@@ -483,6 +543,7 @@ class SecureContext:
         return triplet
 
     def gen_elementwise_triplet(self, shape) -> ElementwiseTriplet:
+        self._require_dealer("gen_elementwise_triplet")
         rng = self._dealer_rng
         u = rng.integers(0, 2**64, size=shape, dtype=np.uint64)
         v = rng.integers(0, 2**64, size=shape, dtype=np.uint64)
@@ -551,21 +612,28 @@ class SecureContext:
         m, k = tuple(shape_a)
         n = tuple(shape_b)[1]
         with self.telemetry.span("pool.refill", clock="offline", kind="matrix", count=count):
-            u = self._pool_uniform((count, m, k))
-            v = self._pool_uniform((count, k, n))
-            self._charge_client_rng(u.nbytes + v.nbytes, "pool:rng")
-            z = self._client_matmul_batched(u, v)
-            u_pair = self._share_with_timing(u, "pool:U")
-            v_pair = self._share_with_timing(v, "pool:V")
-            z_pair = self._share_with_timing(z, "pool:Z")
-            self._upload(
-                u.nbytes + v.nbytes + z.nbytes, "pool:upload",
-                contents=tuple(
-                    (getattr(u_pair, f"share{i}"), getattr(v_pair, f"share{i}"),
-                     getattr(z_pair, f"share{i}"))
-                    for i in (0, 1)
-                ),
-            )
+            # Per-phase sub-spans: how a refill's offline time splits
+            # between mask drawing, the dealer GEMM, share splitting and
+            # the upload (see EXPERIMENTS.md, offline-makespan analysis).
+            with self.telemetry.span("pool.refill.rng", clock="offline", kind="matrix"):
+                u = self._pool_uniform((count, m, k))
+                v = self._pool_uniform((count, k, n))
+                self._charge_client_rng(u.nbytes + v.nbytes, "pool:rng")
+            with self.telemetry.span("pool.refill.gemm", clock="offline", kind="matrix"):
+                z = self._client_matmul_batched(u, v)
+            with self.telemetry.span("pool.refill.share", clock="offline", kind="matrix"):
+                u_pair = self._share_with_timing(u, "pool:U")
+                v_pair = self._share_with_timing(v, "pool:V")
+                z_pair = self._share_with_timing(z, "pool:Z")
+            with self.telemetry.span("pool.refill.upload", clock="offline", kind="matrix"):
+                self._upload(
+                    u.nbytes + v.nbytes + z.nbytes, "pool:upload",
+                    contents=tuple(
+                        (getattr(u_pair, f"share{i}"), getattr(v_pair, f"share{i}"),
+                         getattr(z_pair, f"share{i}"))
+                        for i in (0, 1)
+                    ),
+                )
         self._triplets_generated.inc(
             count, kind="matrix", shape=f"{tuple(shape_a)}x{tuple(shape_b)}", source="pool"
         )
@@ -584,22 +652,26 @@ class SecureContext:
         """Fused generation of ``count`` same-shaped elementwise triplets."""
         stack = (count, *tuple(shape))
         with self.telemetry.span("pool.refill", clock="offline", kind="elementwise", count=count):
-            u = self._pool_uniform(stack)
-            v = self._pool_uniform(stack)
-            self._charge_client_rng(u.nbytes + v.nbytes, "pool:rng")
-            z = ring_mul(u, v)
-            self._charge_client_elementwise(3 * u.nbytes, "pool:mul")
-            u_pair = self._share_with_timing(u, "pool:U")
-            v_pair = self._share_with_timing(v, "pool:V")
-            z_pair = self._share_with_timing(z, "pool:Z")
-            self._upload(
-                3 * u.nbytes, "pool:upload",
-                contents=tuple(
-                    (getattr(u_pair, f"share{i}"), getattr(v_pair, f"share{i}"),
-                     getattr(z_pair, f"share{i}"))
-                    for i in (0, 1)
-                ),
-            )
+            with self.telemetry.span("pool.refill.rng", clock="offline", kind="elementwise"):
+                u = self._pool_uniform(stack)
+                v = self._pool_uniform(stack)
+                self._charge_client_rng(u.nbytes + v.nbytes, "pool:rng")
+            with self.telemetry.span("pool.refill.gemm", clock="offline", kind="elementwise"):
+                z = ring_mul(u, v)
+                self._charge_client_elementwise(3 * u.nbytes, "pool:mul")
+            with self.telemetry.span("pool.refill.share", clock="offline", kind="elementwise"):
+                u_pair = self._share_with_timing(u, "pool:U")
+                v_pair = self._share_with_timing(v, "pool:V")
+                z_pair = self._share_with_timing(z, "pool:Z")
+            with self.telemetry.span("pool.refill.upload", clock="offline", kind="elementwise"):
+                self._upload(
+                    3 * u.nbytes, "pool:upload",
+                    contents=tuple(
+                        (getattr(u_pair, f"share{i}"), getattr(v_pair, f"share{i}"),
+                         getattr(z_pair, f"share{i}"))
+                        for i in (0, 1)
+                    ),
+                )
         self._triplets_generated.inc(
             count, kind="elementwise", shape=str(tuple(shape)), source="pool"
         )
@@ -724,6 +796,7 @@ class SecureContext:
         depends on.  Shape changes (e.g. a ragged last batch) invalidate
         the cache entry.
         """
+        self._require_dealer(label)
         self._triplets_consumed.inc(
             1, kind="matrix", shape=f"{tuple(shape_a)}x{tuple(shape_b)}"
         )
@@ -750,8 +823,17 @@ class SecureContext:
         cached.begin_use(self._batch_epoch, label)
         return cached
 
+    def _require_dealer(self, label: str) -> None:
+        if not self.backend.needs_dealer:
+            raise ProtocolError(
+                f"[{self.backend.name}] op stream '{label}' requested Beaver "
+                "triplets, but this backend is dealer-free; its multiplication "
+                "protocol must not consume dealer material"
+            )
+
     def get_elementwise_triplet(self, label: str, shape) -> ElementwiseTriplet:
         """Elementwise-triplet analogue of :meth:`get_matrix_triplet`."""
+        self._require_dealer(label)
         self._triplets_consumed.inc(1, kind="elementwise", shape=str(tuple(shape)))
         if self.config.fresh_triplets:
             triplet = self.gen_elementwise_triplet(shape)
@@ -784,7 +866,9 @@ class SecureContext:
         # Dealer-side generation cost: dominated by the bit-triplet RNG.
         material_bytes = n * 8 + n * 8 + 3 * 63 * n // 8 + n // 8 + n * 8
         self._charge_client_rng(material_bytes, "compare:rng")
-        self._upload(material_bytes, "compare:upload")
+        # Only the two parties that run the 2-party comparison core
+        # receive material (all of them under beaver2pc).
+        self._upload(material_bytes, "compare:upload", parties=self.backend.compare_parties)
         self._comparisons.inc(1)
         if self.config.fresh_triplets:
             label = None

@@ -189,21 +189,22 @@ class SecureConv2D(SecureLayer):
     def _lower(self, x: SharedTensor) -> SharedTensor:
         n = x.shape[0]
         h, w, c = self.in_shape
-        imgs = (x.shares[0].reshape(n, h, w, c), x.shares[1].reshape(n, h, w, c))
-        cols0 = im2col(imgs[0], self.kernel, self.kernel, self.stride)
-        cols1 = im2col(imgs[1], self.kernel, self.kernel, self.stride)
+        cols = [
+            im2col(s.reshape(n, h, w, c), self.kernel, self.kernel, self.stride)
+            for s in x.shares
+        ]
         tasks = []
-        for i, cols in enumerate((cols0, cols1)):
+        for i, col in enumerate(cols):
             tasks.append(
                 self.ctx.server_cpu[i].run(
                     self.ctx.config.cpu_spec.elementwise_seconds(
-                        x.nbytes + cols.nbytes, parallel=self.ctx.config.cpu_parallel
+                        x.nbytes + col.nbytes, parallel=self.ctx.config.cpu_parallel
                     ),
                     deps=tuple(t for t in (x.tasks[i],) if t is not None),
                     label=f"{self.name}:im2col",
                 )
             )
-        return SharedTensor(ctx=self.ctx, shares=(cols0, cols1), kind=x.kind, tasks=tuple(tasks))
+        return SharedTensor(ctx=self.ctx, shares=tuple(cols), kind=x.kind, tasks=tuple(tasks))
 
     def forward(self, x: SharedTensor, *, training: bool = True) -> SharedTensor:
         n = x.shape[0]
@@ -230,11 +231,13 @@ class SecureConv2D(SecureLayer):
         dcols = ops.secure_matmul(delta2, self.weight.T, label=f"{self.name}/dX")
         h, w, c = self.in_shape
         imgs_shape = (n, h, w, c)
-        dx0 = col2im(dcols.shares[0], imgs_shape, self.kernel, self.kernel, self.stride)
-        dx1 = col2im(dcols.shares[1], imgs_shape, self.kernel, self.kernel, self.stride)
+        dx = tuple(
+            col2im(s, imgs_shape, self.kernel, self.kernel, self.stride).reshape(n, -1)
+            for s in dcols.shares
+        )
         return SharedTensor(
             ctx=self.ctx,
-            shares=(dx0.reshape(n, -1), dx1.reshape(n, -1)),
+            shares=dx,
             kind="fixed",
             tasks=dcols.tasks,
         )
@@ -299,11 +302,11 @@ class SecureAvgPool2D(SecureLayer):
         self._batch = n
         summed = SharedTensor(
             ctx=self.ctx,
-            shares=(self._pool_share(x.shares[0], n), self._pool_share(x.shares[1], n)),
+            shares=tuple(self._pool_share(s, n) for s in x.shares),
             kind=x.kind,
             tasks=x.tasks,
         )
-        for i in (0, 1):
+        for i in range(len(x.shares)):
             self.ctx.server_cpu[i].run(
                 self.ctx.config.cpu_spec.elementwise_seconds(
                     x.nbytes, parallel=self.ctx.config.cpu_parallel
@@ -354,8 +357,14 @@ class SecureRNNCell(SecureLayer):
         self._tape: list[dict] = []
 
     def zero_state(self, batch: int) -> SharedTensor:
-        zeros = np.zeros((batch, self.hidden), dtype=np.uint64)
-        return SharedTensor(ctx=self.ctx, shares=(zeros, zeros.copy()), kind="fixed")
+        shape = (batch, self.hidden)
+        return SharedTensor(
+            ctx=self.ctx,
+            shares=tuple(
+                np.zeros(shape, dtype=np.uint64) for _ in range(self.ctx.n_parties)
+            ),
+            kind="fixed",
+        )
 
     def step(
         self, x_t: SharedTensor, h: SharedTensor, t: int, *, training: bool = True

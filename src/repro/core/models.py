@@ -216,10 +216,7 @@ class SecureRNN(SecureModel):
         hi = lo + self.step_features
         return SharedTensor(
             ctx=self.ctx,
-            shares=(
-                np.ascontiguousarray(x.shares[0][:, lo:hi]),
-                np.ascontiguousarray(x.shares[1][:, lo:hi]),
-            ),
+            shares=tuple(np.ascontiguousarray(s[:, lo:hi]) for s in x.shares),
             kind=x.kind,
             tasks=x.tasks,
         )

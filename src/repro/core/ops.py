@@ -13,6 +13,12 @@ Each op follows the paper's phase structure:
   says the workload is too small to amortise PCIe (Section 4.2);
 * **truncation** — the SecureML local rescale, on the CPU.
 
+The functions here are protocol-agnostic entry points: shape/kind
+validation plus telemetry, with the actual interactive protocol
+dispatched to the context's :class:`~repro.protocols.ProtocolBackend`
+(``beaver2pc`` reproduces the paper's 2PC path bit-identically; see
+``repro.protocols`` for alternates such as 3-party replicated sharing).
+
 All ops thread :class:`~repro.simgpu.clock.Task` dependencies through
 :class:`~repro.core.tensor.SharedTensor.tasks`, which is how pipeline 2
 (cross-layer overlap) is expressed; with ``double_pipeline`` off the
@@ -21,17 +27,9 @@ context serialises every op behind the previous one instead.
 
 from __future__ import annotations
 
-import math
 from contextlib import contextmanager
 
-import numpy as np
-
 from repro.core.tensor import SharedTensor
-from repro.fixedpoint.ring import ring_add, ring_mul, ring_sub
-from repro.fixedpoint.truncation import truncate_share
-from repro.mpc.comparison import emulated_ge_const, secure_ge_const
-from repro.mpc.protocol import beaver_elementwise_share
-from repro.pipeline.scheduler import StagedGemmOperands, schedule_secure_gemm
 from repro.simgpu.clock import Task
 from repro.util.deprecation import warn_deprecated
 from repro.util.errors import ProtocolError, ShapeError
@@ -49,25 +47,40 @@ def _deps(*tasks) -> tuple[Task, ...]:
     return tuple(t for t in tasks if t is not None)
 
 
+def _backend_name(ctx) -> str:
+    backend = getattr(ctx, "backend", None)
+    return getattr(backend, "name", "beaver2pc")
+
+
 @contextmanager
 def _op_scope(ctx, op: str, label: str):
     """Span + per-op roll-up counters around one secure-op invocation.
 
     ``ops.online_seconds{op}`` attributes the op's *online makespan
     delta* — how far it pushed the online clock — so nested ops (an
-    activation's compare + mul) each carry their own share.
+    activation's compare + mul) each carry their own share.  The
+    ``protocol.*`` counters carry the same roll-up labelled by the
+    active protocol backend, so mixed-backend fleets stay attributable.
     """
     telemetry = getattr(ctx, "telemetry", None)
     if telemetry is None:
         yield
         return
+    backend = _backend_name(ctx)
     start = ctx.online_clock.now()
     with telemetry.span(f"op.{label}", clock="online", op=op):
         yield
+    delta = ctx.online_clock.now() - start
     telemetry.counter("ops.invocations", "secure-op call counts").inc(1, op=op)
     telemetry.counter("ops.online_seconds", "online makespan attributed per op").inc(
-        ctx.online_clock.now() - start, op=op
+        delta, op=op
     )
+    telemetry.counter(
+        "protocol.invocations", "secure-op call counts per protocol backend"
+    ).inc(1, backend=backend, op=op)
+    telemetry.counter(
+        "protocol.online_seconds", "online makespan per protocol backend"
+    ).inc(delta, backend=backend, op=op)
 
 
 def _chain(ctx, deps: tuple[Task, ...]) -> tuple[Task, ...]:
@@ -83,78 +96,11 @@ def _set_chain(ctx, tasks) -> None:
         ctx._chain_task = ctx.online_clock.join(list(_deps(*tasks)))
 
 
-def _exchange_masked(
-    ctx,
-    label: str,
-    locals_: list[np.ndarray],
-    local_tasks: list[Task | None],
-) -> tuple[np.ndarray, list[Task]]:
-    """Eq. 5: exchange per-server masked matrices and combine.
-
-    ``locals_[i]`` is server i's ``E_i`` (or ``F_i``); returns the public
-    combined matrix plus, per server, the task after which that server
-    holds it.  Transmission goes through each direction's
-    :class:`~repro.comm.compression.DeltaCompressor`.
-    """
-    combined = ring_add(locals_[0], locals_[1])
-    recv_tasks: list[Task] = []
-    send_tasks = {}
-    for src in (0, 1):
-        dst = 1 - src
-        payload = ctx.compressors[(src, dst)].encode(f"{label}/{src}", locals_[src])
-        # Sender-side compression scan (cheap, bandwidth bound).
-        scan = ctx.server_reconstruct_cpu[src].run(
-            ctx.config.cpu_spec.elementwise_seconds(
-                locals_[src].nbytes, parallel=ctx.config.cpu_parallel
-            )
-            * (0.5 if ctx.config.compression else 0.0),
-            deps=_deps(local_tasks[src]),
-            label=f"{label}:compress",
-        )
-        send_tasks[src] = ctx.server_channel.send(
-            f"server{src}", f"server{dst}", payload.wire_bytes, deps=(scan,), label=f"{label}:send"
-        )
-        # Transcript tap: log the masked matrix the receiver can
-        # reconstruct (the information content of the wire), not the
-        # CSR delta encoding — deltas of truncated shares are
-        # legitimately non-uniform, the masked matrix must not be.
-        ctx.record_wire(
-            f"server{src}", f"server{dst}", f"{label}/{src}",
-            locals_[src], nbytes=payload.wire_bytes,
-        )
-        # Receiver replays the compressor state machine for exactness.
-        decoded = ctx.compressors[(src, dst)].decode(payload)
-        if not np.array_equal(decoded, locals_[src]):  # pragma: no cover - invariant
-            raise ProtocolError(f"compression round-trip mismatch on stream {label}/{src}")
-    for dst in (0, 1):
-        src = 1 - dst
-        combine = ctx.server_reconstruct_cpu[dst].elementwise(
-            ring_add,
-            [locals_[dst], locals_[src]],
-            deps=_deps(local_tasks[dst], send_tasks[src]),
-            label=f"{label}:combine",
-        )[1]
-        recv_tasks.append(combine)
-    return combined, recv_tasks
-
-
 def truncate(x: SharedTensor, *, label: str = "trunc") -> SharedTensor:
-    """Local-truncation rescale of a double-scale product (both servers)."""
+    """Rescale of a double-scale product (protocol-dependent)."""
     ctx = x.ctx
-    frac = ctx.encoder.frac_bits
-    shares = []
-    tasks = []
     with _op_scope(ctx, "truncate", label):
-        for i in (0, 1):
-            result, task = ctx.server_cpu[i].elementwise(
-                lambda s, i=i: truncate_share(s, frac, i),
-                [x.shares[i]],
-                deps=_deps(x.tasks[i]),
-                label=label,
-            )
-            shares.append(result)
-            tasks.append(task)
-    return SharedTensor(ctx=ctx, shares=tuple(shares), kind="fixed", tasks=tuple(tasks))
+        return ctx.backend.truncate(ctx, x, label=label)
 
 
 def secure_matmul(
@@ -167,125 +113,18 @@ def secure_matmul(
     """Secure matrix product ``x @ y`` (Eqs. 4-8 end to end)."""
     ctx = x.ctx
     if x.ndim != 2 or y.ndim != 2 or x.shape[1] != y.shape[0]:
-        raise ShapeError(f"secure_matmul shapes incompatible: {x.shape} x {y.shape}")
+        raise ShapeError(
+            f"[{_backend_name(ctx)}:{label}] secure_matmul shapes incompatible: "
+            f"{x.shape} x {y.shape}"
+        )
     m, k = x.shape
     n = y.shape[1]
     both_fixed = x.kind == "fixed" and y.kind == "fixed"
 
     with _op_scope(ctx, "matmul", label):
-        return _secure_matmul_body(
+        return ctx.backend.matmul(
             ctx, x, y, m, k, n, both_fixed, label=label, truncate_result=truncate_result
         )
-
-
-def _secure_matmul_body(
-    ctx, x, y, m, k, n, both_fixed, *, label: str, truncate_result: bool
-) -> SharedTensor:
-    # --- offline ---------------------------------------------------------------
-    triplet = ctx.get_matrix_triplet(label, x.shape, y.shape)
-
-    # --- static-operand mask reuse (config.static_mask_reuse) ------------------
-    # For a static operand whose mask is unchanged since the last run of
-    # this op stream, the combined masked difference is bit-identical —
-    # the servers skip the subtract, the transmission and the combine.
-    reuse = getattr(ctx, "mask_reuse_enabled", False)
-    cached_e = ctx.reuse_masked(label, "E", x, triplet) if reuse else None
-    cached_f = ctx.reuse_masked(label, "F", y, triplet) if reuse else None
-
-    # --- reconstruct (online, CPU + network) ------------------------------------
-    e_locals, e_tasks_local = [], []
-    f_locals, f_tasks_local = [], []
-    starts = []
-    for i in (0, 1):
-        start = _chain(ctx, _deps(x.tasks[i], y.tasks[i]))
-        starts.append(start)
-        if cached_e is None:
-            e_i, te = ctx.server_reconstruct_cpu[i].elementwise(
-                ring_sub, [x.shares[i], triplet.u[i]], deps=_deps(x.tasks[i], *start), label=f"{label}:E{i}"
-            )
-            e_locals.append(e_i)
-            e_tasks_local.append(te)
-        if cached_f is None:
-            f_i, tf = ctx.server_reconstruct_cpu[i].elementwise(
-                ring_sub, [y.shares[i], triplet.v[i]], deps=_deps(y.tasks[i], *start), label=f"{label}:F{i}"
-            )
-            f_locals.append(f_i)
-            f_tasks_local.append(tf)
-    if cached_e is None:
-        e, e_tasks = _exchange_masked(ctx, f"{label}/E", e_locals, e_tasks_local)
-        if reuse:
-            ctx.store_masked(label, "E", x, triplet, e)
-    else:
-        e, e_tasks = cached_e, [None, None]
-    if cached_f is None:
-        f, f_tasks = _exchange_masked(ctx, f"{label}/F", f_locals, f_tasks_local)
-        if reuse:
-            ctx.store_masked(label, "F", y, triplet, f)
-    else:
-        f, f_tasks = cached_f, [None, None]
-
-    # --- GPU operation (online) ---------------------------------------------------
-    decision = ctx.profiler.place_gemm(m, 2 * k, n, operands_on_gpu=False)
-    shares = []
-    tasks = []
-    for i in (0, 1):
-        if cached_e is None and cached_f is None:
-            ready = _deps(e_tasks[i], f_tasks[i])
-        else:
-            # A cached side has no exchange tasks; depend directly on the
-            # operands (and the serialisation chain) instead.
-            ready = _deps(*starts[i], e_tasks[i], f_tasks[i])
-        tshare = triplet.share_for(i)
-        if decision.placement == "gpu" and ctx.server_gpu[i] is not None:
-            staged = None
-            if reuse:
-                # Keep this stream's Z share (and, for a static right
-                # operand, the combined F) resident on the server GPU:
-                # re-uploaded only when the triplet or value changes.
-                staged_f = None
-                if y.static:
-                    staged_f = ctx.stash_device_buffer(
-                        i, f"f/{label}", ("f", y.uid, triplet.uid), f,
-                        deps=ready, label=f"{label}:stage:F",
-                    )
-                staged_z = ctx.stash_device_buffer(
-                    i, f"z/{label}", ("z", triplet.uid), tshare.z,
-                    deps=ready, label=f"{label}:stage:Z",
-                )
-                staged = StagedGemmOperands(f=staged_f, z=staged_z)
-            result = schedule_secure_gemm(
-                ctx.server_gpu[i],
-                i,
-                e,
-                f,
-                x.shares[i],
-                y.shares[i],
-                tshare,
-                deps=ready,
-                pipeline=ctx.config.pipeline1,
-                staged=staged,
-            )
-            shares.append(result.c_share)
-            tasks.append(result.done)
-        else:
-            tshare.mark_consumed()
-            lead = x.shares[i] if i == 0 else ring_sub(x.shares[i], e)
-            left = np.concatenate([lead, e], axis=1)
-            right = np.concatenate([f, y.shares[i]], axis=0)
-            prod, tg = ctx.server_cpu[i].gemm_ring(left, right, deps=ready, label=f"{label}:cpu_gemm")
-            c_i, tc = ctx.server_cpu[i].elementwise(
-                ring_add, [prod, tshare.z], deps=(tg,), label=f"{label}:+Z"
-            )
-            shares.append(c_i)
-            tasks.append(tc)
-    _set_chain(ctx, tasks)
-    out = SharedTensor(ctx=ctx, shares=tuple(shares), kind="fixed", tasks=tuple(tasks))
-    if both_fixed and truncate_result:
-        out = truncate(out, label=f"{label}:trunc")
-    elif not both_fixed:
-        # fixed x indicator (or indicator x fixed) stays at single scale.
-        out.kind = "fixed" if (x.kind == "fixed" or y.kind == "fixed") else "indicator"
-    return out
 
 
 def secure_elementwise_mul(
@@ -294,82 +133,12 @@ def secure_elementwise_mul(
     """Secure Hadamard product (the CNN's point-to-point multiplications)."""
     ctx = x.ctx
     if x.shape != y.shape:
-        raise ShapeError(f"elementwise shapes differ: {x.shape} vs {y.shape}")
+        raise ShapeError(
+            f"[{_backend_name(ctx)}:{label}] elementwise shapes differ: "
+            f"{x.shape} vs {y.shape}"
+        )
     with _op_scope(ctx, "elementwise_mul", label):
-        return _secure_elementwise_mul_body(ctx, x, y, label=label)
-
-
-def _secure_elementwise_mul_body(ctx, x, y, *, label: str) -> SharedTensor:
-    triplet = ctx.get_elementwise_triplet(label, x.shape)
-
-    e_locals, e_tasks_local = [], []
-    f_locals, f_tasks_local = [], []
-    for i in (0, 1):
-        start = _chain(ctx, _deps(x.tasks[i], y.tasks[i]))
-        e_i, te = ctx.server_reconstruct_cpu[i].elementwise(
-            ring_sub, [x.shares[i], triplet.u[i]], deps=start, label=f"{label}:E{i}"
-        )
-        f_i, tf = ctx.server_reconstruct_cpu[i].elementwise(
-            ring_sub, [y.shares[i], triplet.v[i]], deps=start, label=f"{label}:F{i}"
-        )
-        e_locals.append(e_i)
-        f_locals.append(f_i)
-        e_tasks_local.append(te)
-        f_tasks_local.append(tf)
-    flat = lambda a: a.reshape(a.shape[0], -1) if a.ndim != 2 else a  # noqa: E731
-    e, e_tasks = _exchange_masked(ctx, f"{label}/E", [flat(v) for v in e_locals], e_tasks_local)
-    f, f_tasks = _exchange_masked(ctx, f"{label}/F", [flat(v) for v in f_locals], f_tasks_local)
-    e = e.reshape(x.shape)
-    f = f.reshape(x.shape)
-
-    nbytes = x.nbytes
-    decision = ctx.profiler.place_elementwise(4 * nbytes, operands_on_gpu=False)
-    shares, tasks = [], []
-    for i in (0, 1):
-        ready = _deps(e_tasks[i], f_tasks[i])
-        tshare = triplet.share_for(i)
-        compute = lambda i=i, tshare=tshare: beaver_elementwise_share(
-            i, e, f, x.shares[i], y.shares[i], tshare
-        )
-        if decision.placement == "gpu" and ctx.server_gpu[i] is not None:
-            gpu = ctx.server_gpu[i]
-            bufs = []
-            tdeps = list(ready)
-            for arr, nm in ((e, "E"), (f, "F"), (x.shares[i], "A"), (y.shares[i], "B")):
-                buf, tt = gpu.h2d(arr, deps=ready, label=f"{label}:h2d:{nm}")
-                bufs.append(buf)
-                tdeps.append(tt)
-            c_i = compute()
-            out_buf = gpu.pool.allocate(c_i)
-            tk = gpu.clock.run(
-                gpu.stream(0),
-                gpu.spec.elementwise_seconds(5 * nbytes),
-                deps=tuple(tdeps),
-                label=f"{label}:kernel",
-            )
-            _, tout = gpu.d2h(out_buf, deps=(tk,), label=f"{label}:d2h")
-            for b in bufs + [out_buf]:
-                gpu.free(b)
-            shares.append(c_i)
-            tasks.append(tout)
-        else:
-            c_i = compute()
-            tk = ctx.server_cpu[i].run(
-                ctx.config.cpu_spec.elementwise_seconds(
-                    5 * nbytes, parallel=ctx.config.cpu_parallel
-                ),
-                deps=ready,
-                label=f"{label}:cpu",
-            )
-            shares.append(c_i)
-            tasks.append(tk)
-    _set_chain(ctx, tasks)
-    out = SharedTensor(ctx=ctx, shares=tuple(shares), kind="fixed", tasks=tuple(tasks))
-    if x.kind == "fixed" and y.kind == "fixed":
-        out = truncate(out, label=f"{label}:trunc")
-    elif x.kind == "indicator" and y.kind == "indicator":
-        out.kind = "indicator"
-    return out
+        return ctx.backend.elementwise_mul(ctx, x, y, label=label)
 
 
 def secure_compare_const(
@@ -384,64 +153,12 @@ def secure_compare_const(
     """
     ctx = x.ctx
     if x.kind != "fixed":
-        raise ProtocolError("secure_compare_const expects a fixed-point tensor")
+        raise ProtocolError(
+            f"[{_backend_name(ctx)}:{label}] secure_compare_const expects a "
+            "fixed-point tensor"
+        )
     with _op_scope(ctx, "compare_const", label):
-        return _secure_compare_const_body(ctx, x, threshold, label=label)
-
-
-def _secure_compare_const_body(ctx, x, threshold, *, label: str) -> SharedTensor:
-    c_enc = int(ctx.encoder.encode(np.float64(threshold)))
-    bundle = ctx.gen_comparison_bundle(x.shape, label=label)
-    if bundle is not None:
-        res = secure_ge_const(x.shares[0], x.shares[1], c_enc, bundle)
-    else:
-        # Resharing randomness is keyed by the op-stream label (not an
-        # advancing counter) so checkpoint replay redraws identical
-        # shares — truncation rounding is share-dependent, so replay
-        # bit-identity needs stable shares, not just stable plaintexts.
-        if ctx.config.fresh_triplets:
-            seed_label = f"cmp-{ctx.comparisons_issued}"
-        else:
-            seed_label = f"cmp/{label}"
-        res = emulated_ge_const(
-            x.shares[0], x.shares[1], c_enc, ctx.seeds.generator(seed_label)
-        )
-
-    # Online cost: ~70 vectorised bit-ops per element on each server CPU,
-    # plus the round traffic (one 8-byte opening + 62 bit rounds + B2A).
-    n = int(np.prod(x.shape))
-    start = _chain(ctx, _deps(*x.tasks))
-    cpu_tasks = [
-        ctx.server_cpu[i].run(
-            ctx.config.cpu_spec.elementwise_seconds(70 * n, parallel=ctx.config.cpu_parallel),
-            deps=_deps(x.tasks[i], *start),
-            label=f"{label}:gmw",
-        )
-        for i in (0, 1)
-    ]
-    half = res.online_bytes // 2
-    extra_latency = (res.rounds - 1) * ctx.config.server_link.latency_s
-    net_tasks = []
-    for src in (0, 1):
-        t = ctx.server_channel.send(
-            f"server{src}", f"server{1 - src}", half, deps=(cpu_tasks[src],), label=f"{label}:rounds"
-        )
-        # Size-only transcript record: the GMW bit rounds are costed in
-        # aggregate, their per-round content is not materialized here.
-        ctx.record_wire(
-            f"server{src}", f"server{1 - src}", f"{label}:rounds", nbytes=half
-        )
-        t2 = ctx.online_clock.run(
-            f"link.server{src}->server{1 - src}", extra_latency, deps=(t,), label=f"{label}:latency"
-        )
-        net_tasks.append(t2)
-    tasks = tuple(
-        ctx.online_clock.join([cpu_tasks[i], net_tasks[1 - i]]) for i in (0, 1)
-    )
-    _set_chain(ctx, tasks)
-    return SharedTensor(
-        ctx=ctx, shares=(res.share0, res.share1), kind="indicator", tasks=tasks
-    )
+        return ctx.backend.compare_const(ctx, x, threshold, label=label)
 
 
 _KIND_UNSET = object()

@@ -91,11 +91,9 @@ def secure_standardize(
     inv = (1.0 / stds).reshape(1, -1)
     inv_enc = x.ctx.encoder.encode(np.broadcast_to(inv, x.shape))
     from repro.fixedpoint.ring import ring_mul
-    from repro.fixedpoint.truncation import truncate_share
 
-    shares = tuple(
-        truncate_share(ring_mul(centred.shares[i], inv_enc), x.ctx.encoder.frac_bits, i)
-        for i in (0, 1)
+    shares = x.ctx.backend.truncate_values(
+        tuple(ring_mul(s, inv_enc) for s in centred.shares), x.ctx.encoder.frac_bits
     )
     return (
         SharedTensor(ctx=x.ctx, shares=shares, kind="fixed", tasks=centred.tasks),

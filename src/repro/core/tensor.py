@@ -1,15 +1,16 @@
 """SharedTensor: a secret-shared matrix with scale tracking.
 
-A :class:`SharedTensor` bundles the two servers' additive shares of one
-logical value, plus:
+A :class:`SharedTensor` bundles the servers' additive shares of one
+logical value — one share per party of the active protocol backend (two
+for ``beaver2pc``, three for ``rep3``) — plus:
 
 * ``kind`` — ``"fixed"`` for fixed-point encodings (scale
   ``2^frac_bits``) or ``"indicator"`` for integer 0/1 values produced by
   secure comparisons.  The distinction matters for multiplication:
   fixed x fixed products carry double scale and must be truncated,
   fixed x indicator products keep single scale and must *not* be;
-* ``tasks`` — the simulated-clock tasks after which each server's share
-  is available, threading the dependency graph (pipeline 2) through the
+* ``tasks`` — the simulated-clock tasks after which each share is
+  available, threading the dependency graph (pipeline 2) through the
   data itself.
 
 Linear operations (add, subtract, negate, transpose, reshape, public
@@ -19,6 +20,7 @@ live in :mod:`repro.core.ops`.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass, field, replace
 from typing import Literal, Optional
@@ -26,7 +28,6 @@ from typing import Literal, Optional
 import numpy as np
 
 from repro.fixedpoint.ring import RING_DTYPE, ring_add, ring_mul, ring_neg, ring_sub
-from repro.fixedpoint.truncation import truncate_share
 from repro.simgpu.clock import Task
 from repro.util.errors import ProtocolError, ShapeError
 
@@ -46,21 +47,24 @@ def _next_tensor_uid() -> int:
 
 @dataclass
 class SharedTensor:
-    """One logical value, additively shared between the two servers."""
+    """One logical value, additively shared between the servers."""
 
     ctx: "SecureContext"  # noqa: F821 - circular typing only
-    shares: tuple[np.ndarray, np.ndarray]
+    shares: tuple[np.ndarray, ...]
     kind: TensorKind = "fixed"
-    tasks: tuple[Optional[Task], Optional[Task]] = (None, None)
+    tasks: tuple[Optional[Task], ...] = (None, None)
     static: bool = False
     uid: int = field(default_factory=_next_tensor_uid, compare=False)
 
     def __post_init__(self):
-        s0, s1 = self.shares
-        if s0.shape != s1.shape:
-            raise ShapeError(f"share shapes differ: {s0.shape} vs {s1.shape}")
-        if s0.dtype != RING_DTYPE or s1.dtype != RING_DTYPE:
+        first = self.shares[0]
+        for s in self.shares[1:]:
+            if s.shape != first.shape:
+                raise ShapeError(f"share shapes differ: {first.shape} vs {s.shape}")
+        if any(s.dtype != RING_DTYPE for s in self.shares):
             raise ProtocolError("SharedTensor shares must be uint64 ring elements")
+        if len(self.tasks) != len(self.shares):
+            self.tasks = tuple(self.tasks) + (None,) * (len(self.shares) - len(self.tasks))
 
     # ------------------------------------------------------------ construction
 
@@ -73,9 +77,13 @@ class SharedTensor:
             pair = ctx.share_plain(np.asarray(plain, dtype=np.float64), label=label)
         else:
             pair = ctx.share_ring(ctx.encoder.encode_int(np.asarray(plain)), label=label)
-        return cls(ctx=ctx, shares=(pair.share0, pair.share1), kind=kind)
+        return cls(ctx=ctx, shares=tuple(pair[i] for i in range(ctx.n_parties)), kind=kind)
 
     # ------------------------------------------------------------- inspection
+
+    @property
+    def n_parties(self) -> int:
+        return len(self.shares)
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -90,8 +98,10 @@ class SharedTensor:
         return self.shares[0].nbytes
 
     def share(self, party_id: int) -> np.ndarray:
-        if party_id not in (0, 1):
-            raise ProtocolError(f"party_id must be 0 or 1, got {party_id}")
+        if not 0 <= party_id < len(self.shares):
+            raise ProtocolError(
+                f"party_id must be in [0, {len(self.shares)}), got {party_id}"
+            )
         return self.shares[party_id]
 
     def mark_static(self) -> "SharedTensor":
@@ -107,7 +117,7 @@ class SharedTensor:
 
     def decode(self) -> np.ndarray:
         """Client-side reconstruction to floats (monitoring / final output)."""
-        combined = ring_add(self.shares[0], self.shares[1])
+        combined = functools.reduce(ring_add, self.shares)
         if self.kind == "indicator":
             return combined.view(np.int64).astype(np.float64)
         return self.ctx.encoder.decode(combined)
@@ -126,7 +136,7 @@ class SharedTensor:
             )
         new_shares = []
         new_tasks = []
-        for i in (0, 1):
+        for i in range(len(self.shares)):
             result, task = self.ctx.server_cpu[i].elementwise(
                 op,
                 [self.shares[i], other.shares[i]],
@@ -148,27 +158,29 @@ class SharedTensor:
     def __neg__(self) -> "SharedTensor":
         return SharedTensor(
             ctx=self.ctx,
-            shares=(ring_neg(self.shares[0]), ring_neg(self.shares[1])),
+            shares=tuple(ring_neg(s) for s in self.shares),
             kind=self.kind,
             tasks=self.tasks,
         )
 
     def add_public(self, value: np.ndarray | float) -> "SharedTensor":
-        """Add a public constant: server 0 adds, server 1 passes through."""
+        """Add a public constant: server 0 adds, the rest pass through."""
         encoded = (
             self.ctx.encoder.encode(np.asarray(value, dtype=np.float64))
             if self.kind == "fixed"
             else self.ctx.encoder.encode_int(np.asarray(value))
         )
         s0 = ring_add(self.shares[0], np.broadcast_to(encoded, self.shape).astype(RING_DTYPE))
-        return SharedTensor(ctx=self.ctx, shares=(s0, self.shares[1]), kind=self.kind, tasks=self.tasks)
+        return SharedTensor(
+            ctx=self.ctx, shares=(s0, *self.shares[1:]), kind=self.kind, tasks=self.tasks
+        )
 
     def mul_public_int(self, value: int) -> "SharedTensor":
         """Multiply by a public *integer* (exact, no rescaling needed)."""
         v = np.uint64(int(value) % 2**64)
         return SharedTensor(
             ctx=self.ctx,
-            shares=(ring_mul(self.shares[0], v), ring_mul(self.shares[1], v)),
+            shares=tuple(ring_mul(s, v) for s in self.shares),
             kind=self.kind,
             tasks=self.tasks,
         )
@@ -181,17 +193,17 @@ class SharedTensor:
         that are not exactly representable at the tensor's precision do
         not introduce a systematic relative bias (important for means,
         variances, and learning rates).  The result is within ~1 ulp of
-        the true scaled value w.h.p. (SecureML local truncation).
+        the true scaled value w.h.p. (SecureML local truncation; the
+        rescale itself is the backend's share-local truncation).
         """
         if self.kind != "fixed":
             raise ProtocolError("mul_public on an indicator; use mul_public_int")
         scalar_bits = min(26, 2 * self.ctx.encoder.frac_bits)
         encoded = int(np.rint(np.float64(value) * 2**scalar_bits)) % 2**64
-        shares = tuple(
-            truncate_share(ring_mul(self.shares[i], np.uint64(encoded)), scalar_bits, i)
-            for i in (0, 1)
+        shares = self.ctx.backend.truncate_values(
+            tuple(ring_mul(s, np.uint64(encoded)) for s in self.shares), scalar_bits
         )
-        return SharedTensor(ctx=self.ctx, shares=shares, kind="fixed", tasks=self.tasks)
+        return SharedTensor(ctx=self.ctx, shares=tuple(shares), kind="fixed", tasks=self.tasks)
 
     def to_fixed(self) -> "SharedTensor":
         """Lift an indicator (0/1 integer) to fixed-point scale."""
@@ -200,7 +212,7 @@ class SharedTensor:
         scale = np.uint64(self.ctx.encoder.scale)
         return SharedTensor(
             ctx=self.ctx,
-            shares=(ring_mul(self.shares[0], scale), ring_mul(self.shares[1], scale)),
+            shares=tuple(ring_mul(s, scale) for s in self.shares),
             kind="fixed",
             tasks=self.tasks,
         )
@@ -209,7 +221,7 @@ class SharedTensor:
 
     def transpose(self) -> "SharedTensor":
         """Share-wise transpose (local, data movement only)."""
-        return replace(self, shares=(self.shares[0].T, self.shares[1].T))
+        return replace(self, shares=tuple(s.T for s in self.shares))
 
     @property
     def T(self) -> "SharedTensor":
@@ -218,31 +230,27 @@ class SharedTensor:
     def reshape(self, *shape) -> "SharedTensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        return replace(
-            self, shares=(self.shares[0].reshape(shape), self.shares[1].reshape(shape))
-        )
+        return replace(self, shares=tuple(s.reshape(shape) for s in self.shares))
 
     def row_slice(self, lo: int, hi: int, *, pad_to: int | None = None) -> "SharedTensor":
-        """Rows [lo, hi) of both shares (local; server-side batch slicing).
+        """Rows [lo, hi) of every share (local; server-side batch slicing).
 
         Used by the trainer: the dataset is shared once in the offline
         phase and the servers slice batches out of their shares locally.
 
-        ``pad_to`` zero-pads the slice to a fixed row count: both
-        servers append the same all-zero rows, which is a valid additive
+        ``pad_to`` zero-pads the slice to a fixed row count: every
+        server appends the same all-zero rows, which is a valid additive
         sharing of 0 — so a ragged tail batch keeps the full batch shape
         (pooled triplets and label-cached offline material still match)
         and the pad rows decode to 0 for the caller to trim.
         """
-        s0 = np.ascontiguousarray(self.shares[0][lo:hi])
-        s1 = np.ascontiguousarray(self.shares[1][lo:hi])
-        if pad_to is not None and pad_to > s0.shape[0]:
-            fill = np.zeros((pad_to - s0.shape[0], *s0.shape[1:]), dtype=RING_DTYPE)
-            s0 = np.concatenate([s0, fill], axis=0)
-            s1 = np.concatenate([s1, fill], axis=0)
+        parts = [np.ascontiguousarray(s[lo:hi]) for s in self.shares]
+        if pad_to is not None and pad_to > parts[0].shape[0]:
+            fill = np.zeros((pad_to - parts[0].shape[0], *parts[0].shape[1:]), dtype=RING_DTYPE)
+            parts = [np.concatenate([p, fill], axis=0) for p in parts]
         return replace(
             self,
-            shares=(s0, s1),
+            shares=tuple(parts),
             static=False,
             uid=_next_tensor_uid(),
         )
@@ -253,10 +261,7 @@ class SharedTensor:
 
         return replace(
             self,
-            shares=(
-                ring_sum(self.shares[0], axis=0).reshape(1, -1),
-                ring_sum(self.shares[1], axis=0).reshape(1, -1),
-            ),
+            shares=tuple(ring_sum(s, axis=0).reshape(1, -1) for s in self.shares),
             static=False,
             uid=_next_tensor_uid(),
         )
@@ -267,9 +272,9 @@ class SharedTensor:
             raise ShapeError(f"broadcast_rows needs a (1, n) tensor, got {self.shape}")
         return replace(
             self,
-            shares=(
-                np.ascontiguousarray(np.broadcast_to(self.shares[0], (n_rows, self.shape[1]))),
-                np.ascontiguousarray(np.broadcast_to(self.shares[1], (n_rows, self.shape[1]))),
+            shares=tuple(
+                np.ascontiguousarray(np.broadcast_to(s, (n_rows, self.shape[1])))
+                for s in self.shares
             ),
             static=False,
             uid=_next_tensor_uid(),

@@ -42,9 +42,12 @@ class ChaosResult:
         if set(self.weights) != set(other.weights):
             return False
         return all(
-            np.array_equal(self.weights[name][p], other.weights[name][p])
+            len(self.weights[name]) == len(other.weights[name])
+            and all(
+                np.array_equal(self.weights[name][p], other.weights[name][p])
+                for p in range(len(self.weights[name]))
+            )
             for name in self.weights
-            for p in (0, 1)
         )
 
     def fault_activity(self) -> dict[str, float]:
@@ -73,7 +76,7 @@ def snapshot_weights(model) -> dict[str, tuple[np.ndarray, np.ndarray]]:
     from repro.core.checkpoint import _named_parameters
 
     return {
-        name: (tensor.shares[0].copy(), tensor.shares[1].copy())
+        name: tuple(s.copy() for s in tensor.shares)
         for name, tensor in _named_parameters(model)
     }
 

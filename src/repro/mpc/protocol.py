@@ -144,7 +144,8 @@ def secure_matmul_plain(
     """
     if triplet.shape_a != a_pair[0].shape or triplet.shape_b != b_pair[0].shape:
         raise ProtocolError(
-            f"{label}: triplet shaped {triplet.shape_a}x{triplet.shape_b} does not match "
+            f"[{getattr(triplet, 'backend', 'beaver2pc')}] {label}: triplet shaped "
+            f"{triplet.shape_a}x{triplet.shape_b} does not match "
             f"operands {a_pair[0].shape}x{b_pair[0].shape}"
         )
     shares = []

@@ -49,16 +49,21 @@ class TripletShare:
     party_id: int
     consumed: bool = False
     label: str = ""  # op stream this share was issued to (diagnostics)
+    backend: str = "beaver2pc"  # protocol backend that owns the material
 
     def mark_consumed(self) -> None:
         """Flag this share as used; reuse is a protocol violation."""
         if self.consumed:
             if self.label:
                 raise ProtocolError(
-                    f"Beaver triplet for op stream '{self.label}' consumed twice in one "
-                    f"batch; each op stream may use its cached triplet once per online step"
+                    f"[{self.backend}] Beaver triplet for op stream '{self.label}' "
+                    f"consumed twice in one batch; each op stream may use its cached "
+                    f"triplet once per online step"
                 )
-            raise ProtocolError("Beaver triplet share reused; each triplet is single-use")
+            raise ProtocolError(
+                f"[{self.backend}] Beaver triplet share reused; "
+                f"each triplet is single-use"
+            )
         self.consumed = True
 
 
@@ -92,6 +97,7 @@ class _EpochShareMixin:
                 z=self.z[party_id],
                 party_id=party_id,
                 label=self.label or "",
+                backend=getattr(self, "backend", "beaver2pc"),
             )
             if self._epoch is not None:
                 self._issued[party_id] = share
@@ -108,6 +114,7 @@ class MatrixTriplet(_EpochShareMixin):
     shape_a: tuple[int, int]
     shape_b: tuple[int, int]
     label: str | None = None
+    backend: str = "beaver2pc"
     uid: int = field(default_factory=_next_triplet_uid, compare=False)
     _epoch: int | None = field(default=None, repr=False, compare=False)
     _issued: dict = field(default_factory=dict, repr=False, compare=False)
@@ -122,6 +129,7 @@ class ElementwiseTriplet(_EpochShareMixin):
     z: SharePair
     shape: tuple[int, ...]
     label: str | None = None
+    backend: str = "beaver2pc"
     uid: int = field(default_factory=_next_triplet_uid, compare=False)
     _epoch: int | None = field(default=None, repr=False, compare=False)
     _issued: dict = field(default_factory=dict, repr=False, compare=False)

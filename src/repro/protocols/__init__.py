@@ -1,0 +1,32 @@
+"""Pluggable MPC protocol backends.
+
+The framework's secure ops (``repro.core.ops``) dispatch through a
+:class:`~repro.protocols.base.ProtocolBackend`, selected per context by
+``FrameworkConfig.backend`` (or ``repro.api.session(backend=...)``):
+
+* ``beaver2pc`` — the paper's 2-party Beaver-triplet substrate
+  (default; bit-identical to the pre-refactor hard-wired path);
+* ``rep3`` — 3-party replicated secret sharing (ABY3-style),
+  dealer-free multiplication with one resharing round.
+
+Every backend must pass the differential conformance sweep and the
+chi-square wire-view auditor; see ``repro.protocols.base`` for the
+contract and DESIGN.md for the rep3 protocol description.
+"""
+
+from repro.protocols.base import ProtocolBackend
+from repro.protocols.beaver2pc import Beaver2PCBackend
+from repro.protocols.registry import available_backends, get_backend, register_backend
+from repro.protocols.rep3 import Rep3Backend
+
+register_backend(Beaver2PCBackend())
+register_backend(Rep3Backend())
+
+__all__ = [
+    "ProtocolBackend",
+    "Beaver2PCBackend",
+    "Rep3Backend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]

@@ -1,0 +1,107 @@
+"""The protocol-backend interface every MPC substrate implements.
+
+A :class:`ProtocolBackend` bundles everything that varies between MPC
+substrates while the rest of the framework (tensors, layers, models,
+training, serving, benchmarks) stays protocol-agnostic:
+
+* the **share type** — how a plaintext ring tensor splits into
+  ``n_parties`` shares, how those reconstruct, and how a public-scalar
+  product is rescaled share-locally (:meth:`share_secret`,
+  :meth:`reconstruct`, :meth:`truncate_values`);
+* the **interactive ops** — multiplication, comparison and truncation
+  protocols with full SimClock cost accounting
+  (:meth:`matmul` / :meth:`elementwise_mul` / :meth:`compare_const` /
+  :meth:`truncate`);
+* the **correlated-randomness source** — whether the substrate needs a
+  dealer (Beaver triplets) or derives its randomness from pairwise PRG
+  keys (:attr:`needs_dealer`).
+
+The conformance contract: every backend must pass the differential
+sweep in ``repro.audit.conformance`` (all six models vs the plain
+baselines, within the documented fixed-point tolerances) and the
+chi-square wire-view auditor — nothing a backend puts on a server link
+may be distinguishable from uniform ring noise.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.tensor import SharedTensor
+
+
+class ProtocolBackend:
+    """Abstract MPC substrate; see module docstring for the contract."""
+
+    #: registry key and the label used by ``protocol.*`` telemetry
+    name: str = "abstract"
+    #: number of computing servers the substrate runs on
+    n_parties: int = 2
+    #: whether a trusted dealer provisions correlated randomness
+    #: (Beaver triplets / comparison bundles) in the offline phase
+    needs_dealer: bool = True
+    #: the two parties that execute the 2-party comparison core (and
+    #: therefore receive the dealer's comparison material)
+    compare_parties: tuple[int, int] = (0, 1)
+
+    # --- share algebra (pure, no clock) ------------------------------------
+
+    def share_secret(self, secret: np.ndarray, rng) -> Sequence[np.ndarray]:
+        """Split ``secret`` into ``n_parties`` indexable ring shares."""
+        raise NotImplementedError
+
+    def reconstruct(self, shares: Sequence[np.ndarray]) -> np.ndarray:
+        """Inverse of :meth:`share_secret`."""
+        raise NotImplementedError
+
+    def truncate_values(
+        self, shares: Sequence[np.ndarray], bits: int
+    ) -> tuple[np.ndarray, ...]:
+        """Share-local probabilistic truncation by ``bits`` (no wire)."""
+        raise NotImplementedError
+
+    # --- client upload accounting ------------------------------------------
+
+    def upload_nbytes(self, nbytes: int) -> int:
+        """Bytes the client uploads *per server* when sharing ``nbytes``."""
+        raise NotImplementedError
+
+    def upload_payloads(self, shares) -> tuple:
+        """Per-server wire payloads for the transcript recorder."""
+        raise NotImplementedError
+
+    # --- interactive protocols (full cost accounting on ctx) ---------------
+
+    def matmul(
+        self,
+        ctx,
+        x: "SharedTensor",
+        y: "SharedTensor",
+        m: int,
+        k: int,
+        n: int,
+        both_fixed: bool,
+        *,
+        label: str,
+        truncate_result: bool,
+    ) -> "SharedTensor":
+        raise NotImplementedError
+
+    def elementwise_mul(
+        self, ctx, x: "SharedTensor", y: "SharedTensor", *, label: str
+    ) -> "SharedTensor":
+        raise NotImplementedError
+
+    def compare_const(
+        self, ctx, x: "SharedTensor", threshold: float, *, label: str
+    ) -> "SharedTensor":
+        raise NotImplementedError
+
+    def truncate(self, ctx, x: "SharedTensor", *, label: str) -> "SharedTensor":
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ProtocolBackend {self.name} ({self.n_parties}-party)>"

@@ -1,0 +1,30 @@
+"""Backend registry: name -> ProtocolBackend singleton."""
+
+from __future__ import annotations
+
+from repro.protocols.base import ProtocolBackend
+from repro.util.errors import ConfigError
+
+_REGISTRY: dict[str, ProtocolBackend] = {}
+
+
+def register_backend(backend: ProtocolBackend) -> ProtocolBackend:
+    """Register a backend instance under its ``name``; returns it."""
+    if not backend.name or backend.name == "abstract":
+        raise ConfigError("protocol backend must declare a concrete name")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> ProtocolBackend:
+    """Look up a registered backend by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown protocol backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+def available_backends() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))

@@ -83,6 +83,11 @@ class DealerService:
         fleet_demand = 0
         banked = 0
         for replica in pending:
+            if not replica.ctx.backend.needs_dealer:
+                # Dealer-free backend (e.g. rep3): the replica never
+                # consumes triplets, so mark it provisioned and move on.
+                self._provisioned.add(replica.name)
+                continue
             demand = demand_map(replica.model, replica.batcher.max_batch)
             fleet_demand += sum(demand.values())
             shortfall = self._shortfall(replica, demand)

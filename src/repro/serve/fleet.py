@@ -117,6 +117,7 @@ class FleetReport:
     offline_s: float = 0.0  # max over replicas (parallel deployments)
     online_s: float = 0.0  # max over replicas: the fleet makespan
     latency: dict = field(default_factory=dict)  # fleet-wide p50/p95/p99
+    backends: dict = field(default_factory=dict)  # {replica: protocol backend}
 
     @property
     def rows_per_online_s(self) -> float:
@@ -406,7 +407,9 @@ class SecureServingFleet:
     def report(self) -> FleetReport:
         """Per-replica reports plus the fleet aggregate."""
         self._collect()
-        reports = {r.name: r.report() for r in [*self.router.replicas(), *self._retired]}
+        live = [*self.router.replicas(), *self._retired]
+        reports = {r.name: r.report() for r in live}
+        backends = {r.name: r.ctx.backend.name for r in live}
         latencies = [resp.latency_s for resp in self.responses]
         latency = {
             name: (float(np.quantile(latencies, q)) if latencies else 0.0)
@@ -432,6 +435,7 @@ class SecureServingFleet:
             offline_s=max((r.offline_s for r in reports.values()), default=0.0),
             online_s=max((r.online_s for r in reports.values()), default=0.0),
             latency=latency,
+            backends=backends,
         )
 
     # -- conformance ------------------------------------------------------------

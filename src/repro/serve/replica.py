@@ -125,6 +125,7 @@ class ReplicaStats:
     crashed: bool
     online_s: float
     p95_s: float
+    backend: str = "beaver2pc"
 
 
 class Replica:
@@ -327,6 +328,7 @@ class Replica:
             crashed=self.crashed_party is not None,
             online_s=self.ctx.online_clock.now(),
             p95_s=self._latency.quantile(0.95, stage="total"),
+            backend=self.ctx.backend.name,
         )
 
     @property
@@ -441,17 +443,16 @@ class Replica:
 
     def _assemble(self, plan: BatchPlan) -> SharedTensor:
         """Concatenate request shares and zero-pad to the fixed shape."""
-        parts0 = [r.x.shares[0] for r in plan.requests]
-        parts1 = [r.x.shares[1] for r in plan.requests]
+        parts = [[r.x.shares[p] for r in plan.requests] for p in range(self.ctx.n_parties)]
         if plan.pad_rows:
-            fill = np.zeros((plan.pad_rows, parts0[0].shape[1]), dtype=parts0[0].dtype)
-            parts0.append(fill)
-            parts1.append(fill)
+            fill = np.zeros((plan.pad_rows, parts[0][0].shape[1]), dtype=parts[0][0].dtype)
+            for party_parts in parts:
+                party_parts.append(fill)
         return SharedTensor(
             ctx=self.ctx,
-            shares=(
-                np.ascontiguousarray(np.concatenate(parts0, axis=0)),
-                np.ascontiguousarray(np.concatenate(parts1, axis=0)),
+            shares=tuple(
+                np.ascontiguousarray(np.concatenate(party_parts, axis=0))
+                for party_parts in parts
             ),
             kind=plan.requests[0].x.kind,
         )

@@ -2,9 +2,11 @@
 
 Every cell must agree with the plain baseline within fixed-point
 tolerance; cost-only axes must additionally be bit-identical to the
-baseline axis.  On a disagreement the failing run's transcript is
-dumped as JSON to ``REPRO_CONFORMANCE_ARTIFACTS`` (default
-``conformance-artifacts/``) so CI can upload it for offline replay.
+baseline axis.  The sweep runs per protocol backend (set
+``REPRO_CONFORMANCE_BACKENDS`` to restrict — CI shards the matrix this
+way).  On a disagreement the failing run's transcript is dumped as JSON
+to ``REPRO_CONFORMANCE_ARTIFACTS`` (default ``conformance-artifacts/``)
+so CI can upload it for offline replay.
 """
 
 from __future__ import annotations
@@ -26,6 +28,11 @@ from repro.util.errors import ConfigError
 
 pytestmark = pytest.mark.conformance
 
+#: Backends the sweep covers; CI shards via the environment variable.
+BACKENDS = tuple(
+    os.environ.get("REPRO_CONFORMANCE_BACKENDS", "beaver2pc rep3").split()
+)
+
 
 def _dump_artifact(result) -> str:
     out_dir = Path(os.environ.get("REPRO_CONFORMANCE_ARTIFACTS", "conformance-artifacts"))
@@ -46,29 +53,34 @@ def _check(result):
 
 
 class TestForwardSweep:
-    """All 6 models x all config axes, forward pass, with wire audit."""
+    """All 6 models x all config axes x backends, forward, wire-audited."""
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("model", CONFORMANCE_MODELS)
     @pytest.mark.parametrize("axis", sorted(CONFORMANCE_AXES))
-    def test_secure_matches_plain(self, model, axis):
-        result = run_conformance_case(ConformanceCase(model=model, axis=axis))
+    def test_secure_matches_plain(self, model, axis, backend):
+        result = run_conformance_case(
+            ConformanceCase(model=model, axis=axis, backend=backend)
+        )
         _check(result)
 
 
 class TestTrainingSweep:
     """Training conformance: the backward pass agrees too."""
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("model", CONFORMANCE_MODELS)
-    def test_trained_predictions_match_plain(self, model):
+    def test_trained_predictions_match_plain(self, model, backend):
         result = run_conformance_case(
-            ConformanceCase(model=model, axis="baseline", train=True)
+            ConformanceCase(model=model, axis="baseline", train=True, backend=backend)
         )
         _check(result)
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("axis", ["pool", "mask_reuse"])
-    def test_training_under_offline_axes(self, axis):
+    def test_training_under_offline_axes(self, axis, backend):
         result = run_conformance_case(
-            ConformanceCase(model="MLP", axis=axis, train=True)
+            ConformanceCase(model="MLP", axis=axis, train=True, backend=backend)
         )
         _check(result)
 
@@ -76,29 +88,37 @@ class TestTrainingSweep:
 class TestBitIdentity:
     """Cost-only knobs must not move a single prediction bit."""
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("model", CONFORMANCE_MODELS)
     @pytest.mark.parametrize("axis", sorted(BIT_IDENTICAL_AXES))
-    def test_cost_only_axis_is_bit_identical(self, model, axis):
+    def test_cost_only_axis_is_bit_identical(self, model, axis, backend):
         base = run_conformance_case(
-            ConformanceCase(model=model, axis="baseline"), audit=False
+            ConformanceCase(model=model, axis="baseline", backend=backend), audit=False
         )
         variant = run_conformance_case(
-            ConformanceCase(model=model, axis=axis), audit=False
+            ConformanceCase(model=model, axis=axis, backend=backend), audit=False
         )
         np.testing.assert_array_equal(base.predictions, variant.predictions)
 
     def test_pool_axis_is_tolerance_only(self):
         # documents why pool is excluded from BIT_IDENTICAL_AXES:
         # pooled provisioning draws triplets from a different RNG
-        # stream, and truncation rounding is share-dependent
+        # stream, and truncation rounding is share-dependent.  Dealer
+        # material only exists under beaver2pc — rep3 has no pool, so
+        # there the axis is trivially a no-op and is not asserted here.
         base = run_conformance_case(ConformanceCase("MLP", "baseline"), audit=False)
         pooled = run_conformance_case(ConformanceCase("MLP", "pool"), audit=False)
         assert not np.array_equal(base.predictions, pooled.predictions)
         assert np.max(np.abs(base.predictions - pooled.predictions)) < 1e-3
 
-    def test_replay_same_cell_is_bit_identical(self):
-        first = run_conformance_case(ConformanceCase("logistic", "baseline"))
-        second = run_conformance_case(ConformanceCase("logistic", "baseline"))
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_replay_same_cell_is_bit_identical(self, backend):
+        first = run_conformance_case(
+            ConformanceCase("logistic", "baseline", backend=backend)
+        )
+        second = run_conformance_case(
+            ConformanceCase("logistic", "baseline", backend=backend)
+        )
         first.transcript.assert_identical(second.transcript)
         np.testing.assert_array_equal(first.predictions, second.predictions)
 
@@ -111,6 +131,10 @@ class TestCaseValidation:
     def test_unknown_axis_rejected(self):
         with pytest.raises(ConfigError, match="axis"):
             ConformanceCase(model="MLP", axis="turbo")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="backend"):
+            ConformanceCase(model="MLP", axis="baseline", backend="rep5")
 
     def test_sweep_matrix_is_complete(self):
         # acceptance criterion: 6 models x >= 4 config axes

