@@ -1,0 +1,98 @@
+"""Wire codec regression guards (plain pytest, CI smoke).
+
+Invariants of the framed codec + round coalescing on the Fig. 10 MLP
+cell, checked against the committed ``BENCH_wire.json`` reference:
+
+* framed accounting never changes how many messages cross the links —
+  only their charged size (headers tallied separately);
+* the coalesced path sends strictly fewer messages than baseline, and
+  never more than the committed reference (the simulation is
+  deterministic, so a count above the reference is a real regression);
+* coalescing does not worsen the online makespan (fewer latency
+  charges on the same byte volume);
+* the frame-CRC payload checksum beats the historical
+  pickle-then-CRC per frame in wall-clock.
+
+Runs standalone:
+``PYTHONPATH=src python -m pytest benchmarks/test_wire_regression.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import run_wire_comparison
+from repro.core.config import FrameworkConfig
+
+N_BATCHES = 2
+BENCH_REFERENCE = Path(__file__).resolve().parents[1] / "BENCH_wire.json"
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    cfg = FrameworkConfig.parsecureml(activation_protocol="emulated")
+    return run_wire_comparison(
+        "MLP", "MNIST", cfg, n_batches=N_BATCHES, batch_size=128, seed=0
+    )
+
+
+def _reference_messages(mode: str) -> int | None:
+    if not BENCH_REFERENCE.exists():
+        return None
+    rows = json.loads(BENCH_REFERENCE.read_text())["rows"]
+    for row in rows:
+        if row.get("wire_mode") == mode and row.get("model") == "MLP":
+            return int(row["comm_messages"])
+    return None
+
+
+def test_framed_mode_is_size_only(comparison):
+    base = comparison.cell("baseline")
+    framed = comparison.cell("framed")
+    assert framed.comm_messages == base.comm_messages
+    assert framed.coalesced_messages == 0
+    assert framed.frame_overhead_bytes > 0
+    # the framed charge is the baseline body plus exactly the headers
+    assert framed.comm_bytes == base.comm_bytes + framed.frame_overhead_bytes
+
+
+def test_coalescing_reduces_messages(comparison):
+    base = comparison.cell("baseline")
+    packed = comparison.cell("coalesced")
+    assert packed.comm_messages < base.comm_messages, (
+        f"coalesced path sent {packed.comm_messages} msgs, "
+        f"baseline {base.comm_messages}"
+    )
+    assert packed.coalesced_messages > 0
+    assert (
+        packed.comm_messages
+        == base.comm_messages - packed.coalesced_messages
+    )
+
+
+def test_coalesced_messages_no_worse_than_committed_reference(comparison):
+    reference = _reference_messages("coalesced")
+    if reference is None:
+        pytest.skip("no committed BENCH_wire.json reference")
+    packed = comparison.cell("coalesced")
+    assert packed.comm_messages <= reference, (
+        f"coalesced comm.messages regressed: {packed.comm_messages} > "
+        f"committed reference {reference}"
+    )
+
+
+def test_coalescing_no_worse_makespan(comparison):
+    base = comparison.cell("baseline")
+    packed = comparison.cell("coalesced")
+    assert packed.train_online_s <= base.train_online_s * (1 + 1e-9)
+    assert packed.serve_online_s <= base.serve_online_s * (1 + 1e-9)
+
+
+def test_frame_checksum_beats_pickle_checksum(comparison):
+    assert comparison.checksum_frame_us < comparison.checksum_pickle_us, (
+        f"frame CRC {comparison.checksum_frame_us:.0f}us should beat "
+        f"pickle CRC {comparison.checksum_pickle_us:.0f}us"
+    )

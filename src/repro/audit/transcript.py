@@ -30,12 +30,15 @@ from __future__ import annotations
 
 import hashlib
 import json
-import pickle
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
-import numpy as np
-
+from repro.comm.wire import (  # noqa: F401  (re-exported: historical home)
+    canonical_bytes,
+    content_bytes,
+    iter_arrays,
+    payload_digest,
+)
 from repro.util.errors import AuditError, TranscriptMismatch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -48,54 +51,31 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 IDENTITY_FIELDS = ("src", "dst", "tag", "nbytes", "digest", "clock_s")
 
 
-def iter_arrays(obj: Any) -> Iterator[np.ndarray]:
-    """Yield every ndarray reachable inside ``obj`` (depth-first).
+# The canonical encoding (canonical_bytes / content_bytes / iter_arrays /
+# payload_digest) moved to repro.comm.wire when the frame codec unified
+# wire encoding and transcript hashing; the names above are re-exported
+# here, their historical home, and the byte format is unchanged —
+# committed reference transcripts pin it.
 
-    Mirrors the traversal the fault injector uses when corrupting
-    payloads, so the auditor sees exactly the mutable wire content.
+
+def link_content_digests(transcript: "Transcript") -> dict[tuple[str, str], str]:
+    """BLAKE2b per directed link over the concatenated captured contents.
+
+    The coalescing oracle: packing same-round messages into one frame
+    reorders *message boundaries*, never bytes, so a coalesced run's
+    per-link content stream must hash identically to the baseline's.
+    Size-only records (no captured payload) contribute nothing, same as
+    in the baseline.
     """
-    if isinstance(obj, np.ndarray):
-        yield obj
-    elif isinstance(obj, dict):
-        for v in obj.values():
-            yield from iter_arrays(v)
-    elif isinstance(obj, (list, tuple)):
-        for v in obj:
-            yield from iter_arrays(v)
-    elif hasattr(obj, "__dict__"):
-        for v in vars(obj).values():
-            yield from iter_arrays(v)
-
-
-def canonical_bytes(payload: Any) -> bytes:
-    """A deterministic byte encoding of a message payload.
-
-    Arrays hash as ``dtype|shape|buffer`` so a reshape or cast can never
-    collide with the original; everything else falls back to pickle at a
-    pinned protocol version.
-    """
-    if isinstance(payload, np.ndarray):
-        arr = np.ascontiguousarray(payload)
-        header = f"ndarray|{arr.dtype.str}|{arr.shape}|".encode()
-        return header + arr.tobytes()
-    if isinstance(payload, (bytes, bytearray)):
-        return b"bytes|" + bytes(payload)
-    if isinstance(payload, (list, tuple)) and payload and all(
-        isinstance(p, np.ndarray) for p in payload
-    ):
-        return b"seq|" + b"".join(canonical_bytes(p) for p in payload)
-    return b"pickle|" + pickle.dumps(payload, protocol=4)
-
-
-def content_bytes(payload: Any) -> bytes:
-    """The raw observable buffer bytes of ``payload`` (for wire audits)."""
-    if isinstance(payload, (bytes, bytearray)):
-        return bytes(payload)
-    return b"".join(np.ascontiguousarray(a).tobytes() for a in iter_arrays(payload))
-
-
-def payload_digest(payload: Any) -> str:
-    return hashlib.blake2b(canonical_bytes(payload), digest_size=16).hexdigest()
+    streams: dict[tuple[str, str], "hashlib._Hash"] = {}
+    for r in transcript:
+        if r.payload is None:
+            continue
+        h = streams.get((r.src, r.dst))
+        if h is None:
+            h = streams[(r.src, r.dst)] = hashlib.blake2b(digest_size=16)
+        h.update(r.payload)
+    return {link: h.hexdigest() for link, h in streams.items()}
 
 
 @dataclass(frozen=True)

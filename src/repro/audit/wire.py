@@ -199,3 +199,43 @@ def audit_context(ctx, **kwargs) -> WireAuditReport:
     if kwargs.get("telemetry") is None:
         kwargs["telemetry"] = getattr(ctx, "telemetry", None)
     return audit_transcript(recorder.transcript(), **kwargs)
+
+
+def assert_byte_accounting(transcript: Transcript, telemetry, *, context: str = "") -> None:
+    """Guardrail: transcript frame sizes must equal channel byte charges.
+
+    Every lockstep ``record_wire`` tap carries the exact ``nbytes`` the
+    corresponding channel send charged, so per directed link the sum of
+    recorded sizes must equal the ``comm.bytes`` counter for that
+    ``(src, dst)`` — if the framed codec ever sized a message differently
+    from what the simulator charged, the two ledgers diverge here.
+
+    Hub-tapped ``frame/`` records are excluded: actor-runtime traffic is
+    charged by the reliable transport, which may retransmit.  The check
+    is only meaningful on fault-free runs — retransmissions and injected
+    duplicates charge the channel without a matching lockstep record —
+    so nonzero ``faults.*`` activity is rejected up front.
+    """
+    prefix = f"{context}: " if context else ""
+    reg = telemetry.registry
+    for name in ("faults.retransmits", "faults.duplicates_suppressed"):
+        if name in reg and reg.counter(name).value() > 0:
+            raise AuditError(
+                f"{prefix}byte accounting needs a fault-free run; "
+                f"{name} = {reg.counter(name).value():.0f}"
+            )
+    recorded: dict[tuple[str, str], int] = {}
+    for r in transcript:
+        if r.tag.startswith("frame/"):
+            continue
+        recorded[(r.src, r.dst)] = recorded.get((r.src, r.dst), 0) + r.nbytes
+    comm_bytes = reg.counter("comm.bytes")
+    mismatches = []
+    for (src, dst), total in sorted(recorded.items()):
+        charged = int(comm_bytes.value(src=src, dst=dst))
+        if charged != total:
+            mismatches.append(
+                f"{src}->{dst}: transcript {total} bytes != channel {charged} bytes"
+            )
+    if mismatches:
+        raise AuditError(f"{prefix}byte accounting diverged: " + "; ".join(mismatches))

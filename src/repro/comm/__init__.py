@@ -10,13 +10,26 @@ channels:
 * :mod:`repro.comm.compression` — the delta + sparsity-threshold
   compressed-transmission protocol of paper Section 4.4 (Eqs. 10-12);
 * :mod:`repro.comm.transport` — in-process mailboxes giving the client
-  and two servers an MPI-like ordered point-to-point message surface.
+  and two servers an MPI-like ordered point-to-point message surface;
+* :mod:`repro.comm.wire` — the zero-copy framed codec, exact frame
+  sizing, frame-CRC checksums and per-round message coalescing.
 """
 
 from repro.comm.channel import Channel, LinkSpec, INFINIBAND_100G, ETHERNET_10G
 from repro.comm.csr import CSRMatrix, csr_encode, csr_decode, csr_nbytes, dense_nbytes
 from repro.comm.compression import DeltaCompressor, CompressedPayload, CompressionStats
 from repro.comm.transport import Mailbox, TransportHub
+from repro.comm.wire import (
+    FramedSizes,
+    PackedFrame,
+    RoundCoalescer,
+    blob_frame_sizes,
+    decode_frame,
+    encode_frame,
+    frame_sizes,
+    payload_checksum,
+    unpack_frame,
+)
 
 __all__ = [
     "Channel",
@@ -33,4 +46,13 @@ __all__ = [
     "CompressionStats",
     "Mailbox",
     "TransportHub",
+    "FramedSizes",
+    "PackedFrame",
+    "RoundCoalescer",
+    "blob_frame_sizes",
+    "decode_frame",
+    "encode_frame",
+    "frame_sizes",
+    "payload_checksum",
+    "unpack_frame",
 ]

@@ -67,6 +67,12 @@ class Channel:
         self._busy = registry.counter(
             "comm.link_busy_seconds", "per-direction link occupancy (busy seconds)"
         )
+        self._frame_overhead = registry.counter(
+            "comm.frame_overhead_bytes", "framed-codec header bytes per link direction"
+        )
+        self._coalesced = registry.counter(
+            "comm.coalesced_messages", "messages absorbed into packed round frames"
+        )
 
     def send(self, src: str, dst: str, nbytes: int, deps=(), label: str = "msg") -> Task:
         """Charge one message of ``nbytes`` from ``src`` to ``dst``.
@@ -86,6 +92,26 @@ class Channel:
         self._messages.inc(1, channel=self.label, src=src, dst=dst)
         self._busy.inc(seconds, channel=self.label, src=src, dst=dst)
         return self.clock.run(self._dir[key], seconds, deps=deps, label=label)
+
+    def send_framed(
+        self, src: str, dst: str, sizes, deps=(), label: str = "frame", parts: int = 1
+    ) -> Task:
+        """Charge one *framed* message whose size came from the codec.
+
+        ``sizes`` is a :class:`repro.comm.wire.FramedSizes`: the full
+        frame (body + headers) is charged through :meth:`send` — so
+        retransmission/fault semantics of subclasses apply unchanged —
+        while the header share lands in ``comm.frame_overhead_bytes``.
+        ``parts`` > 1 marks a packed round frame; the messages it
+        absorbed (parts - 1) are tallied in ``comm.coalesced_messages``.
+        """
+        task = self.send(src, dst, sizes.nbytes, deps=deps, label=label)
+        self._frame_overhead.inc(
+            int(sizes.overhead_nbytes), channel=self.label, src=src, dst=dst
+        )
+        if parts > 1:
+            self._coalesced.inc(parts - 1, channel=self.label, src=src, dst=dst)
+        return task
 
     # -- thin views over the registry (historical counter surface) -------------
 

@@ -55,6 +55,20 @@ class CompressedPayload:
         n_rows, n_cols = self.delta.shape
         return n_rows * n_cols * self.delta.data.dtype.itemsize
 
+    def wire_view(self):
+        """What the frame codec serializes for this payload.
+
+        Dense sends frame the matrix itself; CSR deltas frame the three
+        index/value arrays plus the stream metadata the receiver's state
+        machine needs.  Under ``FrameworkConfig.wire_frames`` the charged
+        size is the exact frame over this view — replacing the
+        ``csr_nbytes`` estimate with what actually crosses the wire.
+        """
+        if self.kind == "dense":
+            return self.dense
+        d = self.delta
+        return (self.kind, self.key, d.shape, d.indptr, d.indices, d.data)
+
 
 @dataclass
 class CompressionStats:

@@ -50,6 +50,20 @@ class FrameworkConfig:
     compression: bool = True
     compression_threshold: float = 0.75
 
+    # Wire framing (repro.comm.wire).  wire_frames charges each
+    # inter-server message at its exact framed-codec size (fixed header
+    # + raw buffer body, tallied in comm.frame_overhead_bytes) instead
+    # of the raw-array estimate.  coalesce_rounds additionally packs
+    # same-round messages per directed link — the Eq. 5 E/F pair —
+    # into one framed message (comm.coalesced_messages), halving
+    # per-message latency charges on the dominant exchange; it implies
+    # framed accounting on the coalesced path.  Both knobs are
+    # cost-only: protocol values never change (the "wire"/"coalesced"
+    # conformance axes pin predictions bit-identical), and both default
+    # off so the committed reference transcripts stay byte-for-byte.
+    wire_frames: bool = False
+    coalesce_rounds: bool = False
+
     # Beaver-mask lifetime.  The paper's delta compression (Eqs. 10-12)
     # requires the masks U_i/V_i of a given operand stream to be *reused*
     # across iterations (E_{j+1} = E_j + Delta only holds for fixed U) —

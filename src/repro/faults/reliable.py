@@ -24,8 +24,6 @@ receiver.  A scripted crash convicts the crashed party directly.
 from __future__ import annotations
 
 import copy
-import pickle
-import zlib
 from dataclasses import dataclass, is_dataclass, fields as dataclass_fields
 from typing import Any
 
@@ -33,6 +31,7 @@ import numpy as np
 
 from repro.comm.channel import Channel
 from repro.comm.transport import TransportHub
+from repro.comm.wire import payload_checksum
 from repro.faults.blame import BlameRecord, PartyFailure
 from repro.faults.injector import (
     CORRUPT,
@@ -48,9 +47,13 @@ from repro.telemetry.registry import MetricRegistry
 from repro.util.errors import TransportError
 
 
-def payload_checksum(payload: Any) -> int:
-    """CRC-32 over a canonical byte serialisation of the payload."""
-    return zlib.crc32(pickle.dumps(payload, protocol=4))
+# payload_checksum now rides the frame codec: CRC-32 accumulated over
+# the framed chunks, so array buffers hash raw and pickle fires only
+# for irreducible non-array leaves — the per-frame pickle.dumps this
+# function used to run on every send *and* every receive drain was the
+# ReliableTransport CPU hotspot.  (Imported above from repro.comm.wire;
+# kept in this namespace as its historical home.)
+__all__ = ["payload_checksum", "ReliableTransport", "ResilientChannel", "corrupt_payload"]
 
 
 def _arrays_in(obj: Any):

@@ -71,11 +71,13 @@ def ring_sub(a: np.ndarray, b: np.ndarray, *, out: np.ndarray | None = None) -> 
         return np.subtract(a, b, out=out)
 
 
-def ring_neg(a: np.ndarray) -> np.ndarray:
-    """-a in Z_{2^64}."""
+def ring_neg(a: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+    """-a in Z_{2^64} (``out=`` as in :func:`ring_add`; may alias ``a``)."""
     a = _as_ring(a)
     with np.errstate(over="ignore"):
-        return np.uint64(0) - a
+        if out is None:
+            return np.uint64(0) - a
+        return np.subtract(np.uint64(0), a, out=out)
 
 
 def ring_mul(a: np.ndarray, b: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:

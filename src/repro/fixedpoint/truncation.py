@@ -37,7 +37,13 @@ def truncate_public(x: np.ndarray, frac_bits: int) -> np.ndarray:
     return (signed >> np.int64(frac_bits)).view(RING_DTYPE)
 
 
-def truncate_share(share: np.ndarray, frac_bits: int, party_id: int) -> np.ndarray:
+def truncate_share(
+    share: np.ndarray,
+    frac_bits: int,
+    party_id: int,
+    *,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Truncate one additive share per the SecureML local protocol.
 
     Parameters
@@ -49,11 +55,20 @@ def truncate_share(share: np.ndarray, frac_bits: int, party_id: int) -> np.ndarr
     party_id:
         0 or 1; party 1 truncates the complement so that the two local
         results still sum to the truncated secret.
+    out:
+        Optional uint64 destination (may alias ``share``); party 1's
+        neg-shift-neg then runs fully in place.  Without it the party-1
+        path still reuses one scratch buffer for all three steps instead
+        of allocating per step.
     """
     if party_id not in (0, 1):
         raise ProtocolError(f"party_id must be 0 or 1, got {party_id}")
     x = np.asarray(share, dtype=RING_DTYPE)
     d = np.uint64(frac_bits)
     if party_id == 0:
-        return x >> d
-    return ring_neg(ring_neg(x) >> d)
+        if out is None:
+            return x >> d
+        return np.right_shift(x, d, out=out)
+    neg = ring_neg(x, out=out)
+    np.right_shift(neg, d, out=neg)
+    return ring_neg(neg, out=neg)

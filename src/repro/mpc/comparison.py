@@ -297,26 +297,49 @@ def secure_ge_const(
     p1 = bundle.r_bits1
 
     # Ripple: borrow_{k+1} = g_k XOR (p_k AND borrow_k); borrow_1 = g_0.
-    # We need borrow into bit 63, i.e. iterations k = 1 .. 62.
-    b0 = g0[..., 0]
-    b1 = g1[..., 0]
+    # We need borrow into bit 63, i.e. iterations k = 1 .. 62.  The 62
+    # AND rounds run on six preallocated uint8 buffers with in-place
+    # bitwise ops (the naive _gmw_and form allocates ~10 temporaries per
+    # round); the arithmetic is the same XOR/AND dataflow, bit for bit.
+    b0 = np.ascontiguousarray(g0[..., 0])
+    b1 = np.ascontiguousarray(g1[..., 0])
+    d = np.empty_like(b0)
+    e = np.empty_like(b0)
+    t0 = np.empty_like(b0)
+    t1 = np.empty_like(b0)
+    tmp = np.empty_like(b0)
+    nbytes_per_round = 2 * 2 * ((b0.size + 7) // 8)  # d,e each way, bit-packed
     for k_idx in range(1, _BITS - 1):
-        t0, t1, nbytes = _gmw_and(
-            p0[..., k_idx],
-            p1[..., k_idx],
-            b0,
-            b1,
-            bundle.and_u0[k_idx - 1],
-            bundle.and_u1[k_idx - 1],
-            bundle.and_v0[k_idx - 1],
-            bundle.and_v1[k_idx - 1],
-            bundle.and_w0[k_idx - 1],
-            bundle.and_w1[k_idx - 1],
-        )
-        b0 = g0[..., k_idx] ^ t0
-        b1 = g1[..., k_idx] ^ t1
+        p0k = p0[..., k_idx]
+        p1k = p1[..., k_idx]
+        u0k = bundle.and_u0[k_idx - 1]
+        u1k = bundle.and_u1[k_idx - 1]
+        v0k = bundle.and_v0[k_idx - 1]
+        v1k = bundle.and_v1[k_idx - 1]
+        # opened d = p XOR u, e = borrow XOR v
+        np.bitwise_xor(p0k, u0k, out=d)
+        np.bitwise_xor(d, p1k, out=d)
+        np.bitwise_xor(d, u1k, out=d)
+        np.bitwise_xor(b0, v0k, out=e)
+        np.bitwise_xor(e, b1, out=e)
+        np.bitwise_xor(e, v1k, out=e)
+        # z0 = w0 ^ (d & v0) ^ (e & u0)
+        np.bitwise_and(d, v0k, out=t0)
+        np.bitwise_xor(t0, bundle.and_w0[k_idx - 1], out=t0)
+        np.bitwise_and(e, u0k, out=tmp)
+        np.bitwise_xor(t0, tmp, out=t0)
+        # z1 = w1 ^ (d & v1) ^ (e & u1) ^ (d & e)
+        np.bitwise_and(d, v1k, out=t1)
+        np.bitwise_xor(t1, bundle.and_w1[k_idx - 1], out=t1)
+        np.bitwise_and(e, u1k, out=tmp)
+        np.bitwise_xor(t1, tmp, out=t1)
+        np.bitwise_and(d, e, out=tmp)
+        np.bitwise_xor(t1, tmp, out=t1)
+        # borrow update: b = g_k XOR z
+        np.bitwise_xor(g0[..., k_idx], t0, out=b0)
+        np.bitwise_xor(g1[..., k_idx], t1, out=b1)
         rounds += 1
-        online_bytes += nbytes
+        online_bytes += nbytes_per_round
 
     # Sign bit of y: d_63 = m_63 XOR r_63 XOR borrow_63.
     sign0 = m_bits[..., _BITS - 1] ^ bundle.r_bits0[..., _BITS - 1] ^ b0

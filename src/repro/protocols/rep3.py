@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.comm.wire import blob_frame_sizes, frame_sizes
 from repro.core import ops as core_ops
 from repro.core.ops import _chain, _deps, _set_chain
 from repro.core.tensor import SharedTensor
@@ -44,11 +45,33 @@ from repro.mpc.comparison import emulated_ge_const, secure_ge_const
 from repro.protocols.base import ProtocolBackend
 
 
+def _send_array(ctx, link, src, dst, tag, payload, deps, label):
+    """One masked-array message, framed when the wire codec is on.
+
+    Rep3 never sends two messages on the same directed link in the same
+    round (the resharing ring rotates one message per link), so
+    ``coalesce_rounds`` has nothing to pack here — it only implies framed
+    accounting, keeping cross-backend byte comparisons on one codec.
+    Returns the delivery task after recording the transcript tap.
+    """
+    if ctx.config.wire_frames or ctx.config.coalesce_rounds:
+        sizes = frame_sizes(tag, payload)
+        task = link.send_framed(src, dst, sizes, deps=deps, label=label)
+        wire_nbytes = sizes.nbytes
+    else:
+        task = link.send(src, dst, payload.nbytes, deps=deps, label=label)
+        wire_nbytes = payload.nbytes
+    ctx.record_wire(src, dst, tag, payload, nbytes=wire_nbytes)
+    return task
+
+
 def rep3_share(secret: np.ndarray, rng) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Split ``secret`` into three additive ring shares."""
     s0 = rng.integers(0, 2**64, size=secret.shape, dtype=np.uint64)
     s1 = rng.integers(0, 2**64, size=secret.shape, dtype=np.uint64)
-    s2 = ring_add(secret, ring_neg(ring_add(s0, s1)))
+    s2 = ring_add(s0, s1)
+    ring_neg(s2, out=s2)
+    ring_add(secret, s2, out=s2)
     return (s0, s1, s2)
 
 
@@ -69,7 +92,9 @@ def rep3_zero_shares(shape, rng) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Three pseudo-random ring tensors summing to zero."""
     a0 = rng.integers(0, 2**64, size=shape, dtype=np.uint64)
     a1 = rng.integers(0, 2**64, size=shape, dtype=np.uint64)
-    return (a0, a1, ring_neg(ring_add(a0, a1)))
+    a2 = ring_add(a0, a1)
+    ring_neg(a2, out=a2)
+    return (a0, a1, a2)
 
 
 class Rep3Backend(ProtocolBackend):
@@ -90,7 +115,8 @@ class Rep3Backend(ProtocolBackend):
         # Pair truncation of the fold (s0 + s1, s2); pure algebra for the
         # wire-free public-scalar rescale (no re-randomization needed —
         # these values never leave the parties that computed them).
-        t_a = truncate_share(ring_add(shares[0], shares[1]), bits, 0)
+        fold = ring_add(shares[0], shares[1])
+        t_a = truncate_share(fold, bits, 0, out=fold)
         t_b = truncate_share(shares[2], bits, 1)
         return (t_a, np.zeros(shares[0].shape, dtype=RING_DTYPE), t_b)
 
@@ -151,12 +177,9 @@ class Rep3Backend(ProtocolBackend):
         for i in range(3):
             dst = (i - 1) % 3
             link = ctx.server_link(i, dst)
-            t = link.send(
-                f"server{i}", f"server{dst}", nbytes, deps=(mask_tasks[i],), label=f"{label}:reshare"
-            )
-            ctx.record_wire(
-                f"server{i}", f"server{dst}", f"{label}/reshare{i}",
-                masked[i], nbytes=nbytes,
+            t = _send_array(
+                ctx, link, f"server{i}", f"server{dst}", f"{label}/reshare{i}",
+                masked[i], deps=(mask_tasks[i],), label=f"{label}:reshare",
             )
             tasks.append(t)
         return tuple(masked), tuple(tasks)
@@ -256,12 +279,15 @@ class Rep3Backend(ProtocolBackend):
         par = ctx.config.cpu_parallel
         # Pair truncation: party 0 folds and truncates (x0 + x1); parties
         # 1 and 2 both hold x2 and truncate it as the negative share.
-        t_a = truncate_share(ring_add(x.shares[0], x.shares[1]), frac, 0)
+        # The fold and both truncated halves are op-local buffers, so the
+        # whole rescale runs in place on them.
+        fold = ring_add(x.shares[0], x.shares[1])
+        t_a = truncate_share(fold, frac, 0, out=fold)
         t_b = truncate_share(x.shares[2], frac, 1)
         alphas = self._zero_shares(ctx, label, x.shape)
-        y0 = ring_add(t_a, alphas[0])
+        y0 = ring_add(t_a, alphas[0], out=t_a)
         y1 = alphas[1]
-        y2 = ring_add(t_b, alphas[2])
+        y2 = ring_add(t_b, alphas[2], out=t_b)
         t0 = ctx.server_cpu[0].run(
             cpu.elementwise_seconds(3 * nbytes, parallel=par),
             deps=_deps(x.tasks[0], x.tasks[1]),
@@ -280,8 +306,10 @@ class Rep3Backend(ProtocolBackend):
         # One masked message restores the replicated layout: party 2 needs
         # the new share 0, which only party 0 can compute.
         link = ctx.server_link(0, 2)
-        t_send = link.send("server0", "server2", nbytes, deps=(t0,), label=f"{label}:lift")
-        ctx.record_wire("server0", "server2", f"{label}/lift", y0, nbytes=nbytes)
+        t_send = _send_array(
+            ctx, link, "server0", "server2", f"{label}/lift", y0,
+            deps=(t0,), label=f"{label}:lift",
+        )
         tasks = (t_send, t1, t2)
         return SharedTensor(ctx=ctx, shares=(y0, y1, y2), kind="fixed", tasks=tasks)
 
@@ -325,12 +353,25 @@ class Rep3Backend(ProtocolBackend):
         half = res.online_bytes // 2
         extra_latency = (res.rounds - 1) * ctx.config.server_link.latency_s
         link = ctx.server_link(0, 2)
+        framed = ctx.config.wire_frames or ctx.config.coalesce_rounds
         net_tasks = {}
         for src, dst in ((0, 2), (2, 0)):
-            t = link.send(
-                f"server{src}", f"server{dst}", half, deps=(cpu_tasks[src],), label=f"{label}:rounds"
+            if framed:
+                sizes = blob_frame_sizes(f"{label}:rounds", half)
+                t = link.send_framed(
+                    f"server{src}", f"server{dst}", sizes,
+                    deps=(cpu_tasks[src],), label=f"{label}:rounds",
+                )
+                wire_nbytes = sizes.nbytes
+            else:
+                t = link.send(
+                    f"server{src}", f"server{dst}", half,
+                    deps=(cpu_tasks[src],), label=f"{label}:rounds",
+                )
+                wire_nbytes = half
+            ctx.record_wire(
+                f"server{src}", f"server{dst}", f"{label}:rounds", nbytes=wire_nbytes
             )
-            ctx.record_wire(f"server{src}", f"server{dst}", f"{label}:rounds", nbytes=half)
             net_tasks[dst] = ctx.online_clock.run(
                 f"link.server{src}->server{dst}", extra_latency, deps=(t,), label=f"{label}:latency"
             )
@@ -350,14 +391,14 @@ class Rep3Backend(ProtocolBackend):
                 cpu.rng_seconds(2 * nbytes, parallel=par), deps=_deps(dep), label=f"{label}:prg"
             )
             lift_tasks.append(t_prg)
-        s02 = ctx.server_link(0, 2).send(
-            "server0", "server2", nbytes, deps=(lift_tasks[0],), label=f"{label}:lift"
+        s02 = _send_array(
+            ctx, ctx.server_link(0, 2), "server0", "server2", f"{label}/lift0", r0,
+            deps=(lift_tasks[0],), label=f"{label}:lift",
         )
-        ctx.record_wire("server0", "server2", f"{label}/lift0", r0, nbytes=nbytes)
-        s21 = ctx.server_link(1, 2).send(
-            "server2", "server1", nbytes, deps=(lift_tasks[2],), label=f"{label}:lift"
+        s21 = _send_array(
+            ctx, ctx.server_link(1, 2), "server2", "server1", f"{label}/lift2", r2,
+            deps=(lift_tasks[2],), label=f"{label}:lift",
         )
-        ctx.record_wire("server2", "server1", f"{label}/lift2", r2, nbytes=nbytes)
         tasks = (s02, lift_tasks[1], s21)
         _set_chain(ctx, tasks)
         return SharedTensor(ctx=ctx, shares=(r0, r1, r2), kind="indicator", tasks=tasks)

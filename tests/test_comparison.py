@@ -129,3 +129,25 @@ class TestOfflineMaterial:
         dealer.bundle((2,))
         dealer.bundle((3,))
         assert dealer.bundles_issued == 2
+
+
+class TestInPlaceRippleLoop:
+    """The scratch-buffer GMW ripple must not touch its inputs."""
+
+    def test_inputs_unmodified(self, rng=None):
+        rng = np.random.default_rng(11)
+        enc = FixedPointEncoder(13)
+        encoded = enc.encode(rng.normal(size=(5, 3)))
+        pair = share_secret(encoded, rng)
+        dealer = ComparisonDealer(np.random.default_rng(12))
+        s0, s1 = pair.share0.copy(), pair.share1.copy()
+        secure_ge_const(pair.share0, pair.share1, 0, dealer.bundle(encoded.shape))
+        assert np.array_equal(pair.share0, s0)
+        assert np.array_equal(pair.share1, s1)
+
+    def test_repeat_run_identical(self):
+        # would diverge if the in-place loop corrupted the bundle's
+        # triple planes through a view instead of private scratch
+        a, _ = compare_via_protocol([-1.5, 0.0, 2.25], 0.5, seed=3)
+        b, _ = compare_via_protocol([-1.5, 0.0, 2.25], 0.5, seed=3)
+        assert np.array_equal(a, b)

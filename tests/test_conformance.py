@@ -141,3 +141,90 @@ class TestCaseValidation:
         assert len(CONFORMANCE_MODELS) == 6
         assert len(CONFORMANCE_AXES) >= 5  # baseline + 4 optimization axes
         assert set(BIT_IDENTICAL_AXES) < set(CONFORMANCE_AXES)
+
+
+class TestWireAxes:
+    """The framed-codec and coalescing axes: cost-only, byte-accounted."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_coalesced_content_streams_match_baseline(self, backend):
+        from repro.audit.conformance import assert_content_equivalent
+
+        base = run_conformance_case(
+            ConformanceCase("MLP", "baseline", train=True, backend=backend)
+        )
+        packed = run_conformance_case(
+            ConformanceCase("MLP", "coalesced", train=True, backend=backend)
+        )
+        assert_content_equivalent(base, packed)
+        assert_content_equivalent(
+            base,
+            run_conformance_case(
+                ConformanceCase("MLP", "wire", train=True, backend=backend)
+            ),
+        )
+
+    def test_coalescing_reduces_messages(self):
+        base = run_conformance_case(ConformanceCase("MLP", "baseline"))
+        packed = run_conformance_case(ConformanceCase("MLP", "coalesced"))
+        def server_msgs(t):
+            return sum(
+                1 for r in t if r.src.startswith("server") and r.dst.startswith("server")
+            )
+        assert server_msgs(packed.transcript) < server_msgs(base.transcript)
+
+    @pytest.mark.parametrize("axis", ["baseline", "wire", "coalesced"])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_byte_accounting_reconciles(self, axis, backend):
+        from repro.audit.wire import assert_byte_accounting
+        from repro.core.context import SecureContext
+        from repro.core.inference import secure_predict
+        from repro.core.models import SecureMLP
+
+        case = ConformanceCase("MLP", axis, backend=backend)
+        ctx = SecureContext.create(case.config())
+        recorder = ctx.attach_recorder()
+        model = SecureMLP(ctx, 12, hidden=(8,), n_out=3)
+        x = 0.5 * np.random.default_rng(2).standard_normal((32, 12))
+        secure_predict(ctx, model, x, batch_size=16)
+        assert_byte_accounting(recorder.transcript(), ctx.telemetry)
+
+    def test_byte_accounting_rejects_faulty_runs(self):
+        from repro.audit.wire import assert_byte_accounting
+        from repro.audit.transcript import Transcript
+        from repro.telemetry import Telemetry
+        from repro.util.errors import AuditError
+
+        telemetry = Telemetry()
+        telemetry.registry.counter("faults.retransmits", "").inc(3)
+        with pytest.raises(AuditError, match="fault-free"):
+            assert_byte_accounting(Transcript(()), telemetry)
+
+    def test_frame_overhead_and_coalesced_counters(self):
+        from repro.core.context import SecureContext
+        from repro.core.inference import secure_predict
+        from repro.core.models import SecureMLP
+
+        counters = {}
+        for axis in ("baseline", "wire", "coalesced"):
+            case = ConformanceCase("MLP", axis)
+            ctx = SecureContext.create(case.config())
+            model = SecureMLP(ctx, 12, hidden=(8,), n_out=3)
+            x = 0.5 * np.random.default_rng(2).standard_normal((32, 12))
+            secure_predict(ctx, model, x, batch_size=16)
+            reg = ctx.telemetry.registry
+            counters[axis] = {
+                "messages": reg.counter("comm.messages").value(),
+                "overhead": reg.counter("comm.frame_overhead_bytes").value(),
+                "coalesced": reg.counter("comm.coalesced_messages").value(),
+            }
+        assert counters["baseline"]["overhead"] == 0
+        assert counters["baseline"]["coalesced"] == 0
+        assert counters["wire"]["overhead"] > 0
+        assert counters["wire"]["coalesced"] == 0
+        assert counters["wire"]["messages"] == counters["baseline"]["messages"]
+        assert counters["coalesced"]["coalesced"] > 0
+        assert (
+            counters["coalesced"]["messages"]
+            == counters["baseline"]["messages"] - counters["coalesced"]["coalesced"]
+        )

@@ -127,3 +127,26 @@ class TestMatmul:
         a = rng.integers(0, MOD, size=(4,), dtype=np.uint64)
         with pytest.raises(ShapeError):
             ring_matmul(a, a)
+
+
+class TestRingNegOut:
+    """In-place negation: ``out=`` parity with the allocating form."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(u64, min_size=1, max_size=8))
+    def test_out_matches_allocating(self, values):
+        a = as_arr(values)
+        expected = ring_neg(a)
+        out = np.empty_like(a)
+        result = ring_neg(a, out=out)
+        assert result is out
+        assert np.array_equal(result, expected)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(u64, min_size=1, max_size=8))
+    def test_out_may_alias_input(self, values):
+        a = as_arr(values)
+        expected = ring_neg(a)
+        result = ring_neg(a, out=a)
+        assert result is a
+        assert np.array_equal(result, expected)

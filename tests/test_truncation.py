@@ -64,3 +64,28 @@ class TestTruncateShare:
         t0 = truncate_share(share, 13, 0)
         t1 = truncate_share(share, 13, 1)
         assert not np.array_equal(t0, t1)
+
+
+class TestTruncateShareOut:
+    """``out=`` parity of the share-local rescale, both party roles."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**32), st.sampled_from([0, 1]))
+    def test_out_matches_allocating(self, seed, party):
+        rng = np.random.default_rng(seed)
+        share = rng.integers(0, MOD, size=(3, 4), dtype=np.uint64)
+        expected = truncate_share(share, 13, party)
+        out = np.empty_like(share)
+        result = truncate_share(share, 13, party, out=out)
+        assert result is out
+        assert np.array_equal(result, expected)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**32), st.sampled_from([0, 1]))
+    def test_out_may_alias_input(self, seed, party):
+        rng = np.random.default_rng(seed)
+        share = rng.integers(0, MOD, size=(3, 4), dtype=np.uint64)
+        expected = truncate_share(share, 13, party)
+        result = truncate_share(share, 13, party, out=share)
+        assert result is share
+        assert np.array_equal(result, expected)
