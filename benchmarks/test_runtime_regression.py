@@ -1,0 +1,103 @@
+"""Dataflow runtime regression guards (plain pytest, CI smoke).
+
+The event-driven scheduler (``runtime="dataflow"``,
+:mod:`repro.runtime.dataflow`) must extract overlap, never invent cost:
+
+* the Fig. 10 MLP/MNIST online makespan under dataflow is no worse
+  than the live lockstep run *and* no worse than the hand-tuned
+  pipeline numbers committed in ``BENCH_wire.json`` (the lockstep
+  baseline cell those pipelines produced);
+* the Fig. 12-style offline makespan (client dealer work) is likewise
+  monotone non-increasing;
+* the schedule change is cost-only: decoded predictions are
+  bit-identical across runtimes (the conformance sweep covers all six
+  models; this is the bench-cell spot check).
+
+Runs standalone:
+``PYTHONPATH=src python -m pytest benchmarks/test_runtime_regression.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import build_secure_model, load_workload
+from repro.core.config import FrameworkConfig
+from repro.core.context import SecureContext
+from repro.core.inference import secure_predict
+from repro.core.training import SecureTrainer
+
+N_BATCHES = 2
+BATCH_SIZE = 128
+BENCH_REFERENCE = Path(__file__).resolve().parents[1] / "BENCH_wire.json"
+
+
+def _run_cell(runtime: str):
+    """One Fig. 10 MLP/MNIST cell: train, snapshot, predict."""
+    x, y, spec = load_workload(
+        "MLP", "MNIST", n_batches=N_BATCHES, batch_size=BATCH_SIZE, seed=0
+    )
+    cfg = FrameworkConfig.parsecureml(activation_protocol="emulated", runtime=runtime)
+    ctx = SecureContext.create(cfg)
+    model = build_secure_model(ctx, spec)
+    SecureTrainer(ctx, model, lr=0.03125, monitor_loss=False).train(
+        x, y, epochs=1, batch_size=BATCH_SIZE
+    )
+    snap = ctx.telemetry.snapshot()
+    pred = secure_predict(
+        ctx, model, x[:BATCH_SIZE], batch_size=BATCH_SIZE
+    ).predictions
+    return {
+        "online_s": snap.gauge("phase.sim_seconds", clock="online"),
+        "offline_s": snap.gauge("phase.sim_seconds", clock="offline"),
+        "predictions": pred,
+    }
+
+
+@pytest.fixture(scope="module")
+def lockstep():
+    return _run_cell("lockstep")
+
+
+@pytest.fixture(scope="module")
+def dataflow():
+    return _run_cell("dataflow")
+
+
+def _committed_lockstep_online() -> float | None:
+    if not BENCH_REFERENCE.exists():
+        return None
+    rows = json.loads(BENCH_REFERENCE.read_text())["rows"]
+    for row in rows:
+        if row.get("wire_mode") == "baseline" and row.get("model") == "MLP":
+            return float(row["train_online_s"])
+    return None
+
+
+def test_fig10_online_makespan_no_worse_than_lockstep(lockstep, dataflow):
+    assert dataflow["online_s"] <= lockstep["online_s"] * (1 + 1e-9), (
+        f"dataflow online makespan regressed: {dataflow['online_s']} > "
+        f"lockstep {lockstep['online_s']}"
+    )
+
+
+def test_fig10_online_makespan_no_worse_than_committed_reference(dataflow):
+    reference = _committed_lockstep_online()
+    if reference is None:
+        pytest.skip("no committed BENCH_wire.json reference")
+    assert dataflow["online_s"] <= reference * (1 + 1e-9), (
+        f"dataflow fig10 online makespan regressed above the committed "
+        f"lockstep reference: {dataflow['online_s']} > {reference}"
+    )
+
+
+def test_fig12_offline_makespan_no_worse_than_lockstep(lockstep, dataflow):
+    assert dataflow["offline_s"] <= lockstep["offline_s"] * (1 + 1e-9)
+
+
+def test_predictions_bit_identical_across_runtimes(lockstep, dataflow):
+    np.testing.assert_array_equal(lockstep["predictions"], dataflow["predictions"])

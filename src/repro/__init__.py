@@ -72,7 +72,7 @@ from repro import serve
 
 # Single source of truth for the distribution version: pyproject.toml
 # reads this attribute via [tool.setuptools.dynamic].
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "api",

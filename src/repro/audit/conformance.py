@@ -71,11 +71,12 @@ CONFORMANCE_AXES: dict[str, dict[str, Any]] = {
     "chaos": {"fault_plan": FaultPlan(seed=7, drop=0.04, delay=0.04)},
     "wire": {"wire_frames": True},
     "coalesced": {"coalesce_rounds": True},
+    "dataflow": {"runtime": "dataflow"},
 }
 
 #: Axes whose knobs are cost-only: secure predictions must be
 #: bit-identical to the baseline axis, not merely within tolerance.
-BIT_IDENTICAL_AXES = ("mask_reuse", "no_compression", "chaos", "wire", "coalesced")
+BIT_IDENTICAL_AXES = ("mask_reuse", "no_compression", "chaos", "wire", "coalesced", "dataflow")
 
 #: Fixed-point agreement ceilings (frac_bits=13 -> ~1.2e-4 resolution
 #: per truncation; training compounds it across batches and layers).

@@ -40,9 +40,10 @@ def _configs(
     pool_size: int = 0,
     static_mask_reuse: bool = False,
     backends: list[str] | None = None,
+    runtime: str = "lockstep",
 ):
-    par = FrameworkConfig.parsecureml(activation_protocol="emulated")
-    sml = FrameworkConfig.secureml(activation_protocol="emulated")
+    par = FrameworkConfig.parsecureml(activation_protocol="emulated", runtime=runtime)
+    sml = FrameworkConfig.secureml(activation_protocol="emulated", runtime=runtime)
     rows = {"par": [("ParSecureML", par)], "sml": [("SecureML", sml)],
             "both": [("SecureML", sml), ("ParSecureML", par)]}[which]
     if (pool_size > 0 or static_mask_reuse) and which in ("par", "both"):
@@ -123,6 +124,12 @@ def main(argv: list[str] | None = None) -> int:
         help="cache masked differences of static operands in the pooled row",
     )
     parser.add_argument(
+        "--runtime", choices=["lockstep", "dataflow"], default="lockstep",
+        help="task scheduling on the simulated clocks: lockstep program-"
+        "order placement (default) or the event-driven dataflow scheduler "
+        "(repro.runtime.dataflow); values are bit-identical either way",
+    )
+    parser.add_argument(
         "--backend", action="append", metavar="NAME", default=None,
         help="protocol backend to run (beaver2pc, rep3); repeat the flag "
         "to compare backends side by side in one invocation",
@@ -159,6 +166,7 @@ def main(argv: list[str] | None = None) -> int:
         for name, cfg in _configs(
             "par", pool_size=args.pool_size,
             static_mask_reuse=args.static_mask_reuse, backends=args.backend,
+            runtime=args.runtime,
         ):
             res = run_wire_comparison(
                 args.model, args.dataset, cfg,
@@ -180,7 +188,7 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 rows.append({
                     "system": name, "model": args.model, "dataset": args.dataset,
-                    "backend": cfg.backend, "wire_mode": cell.mode,
+                    "backend": cfg.backend, "runtime": cfg.runtime, "wire_mode": cell.mode,
                     "train_online_s": cell.train_online_s,
                     "serve_online_s": cell.serve_online_s,
                     "comm_bytes": cell.comm_bytes,
@@ -216,6 +224,7 @@ def main(argv: list[str] | None = None) -> int:
         for name, cfg in _configs(
             args.system, pool_size=args.pool_size,
             static_mask_reuse=args.static_mask_reuse, backends=args.backend,
+            runtime=args.runtime,
         ):
             base_tput = None
             cells = [(r, None) for r in counts]
@@ -277,6 +286,7 @@ def main(argv: list[str] | None = None) -> int:
         for name, cfg in _configs(
             args.system, pool_size=args.pool_size,
             static_mask_reuse=args.static_mask_reuse, backends=args.backend,
+            runtime=args.runtime,
         ):
             res = run_serving(
                 args.model, args.dataset, cfg,
@@ -310,6 +320,7 @@ def main(argv: list[str] | None = None) -> int:
     for name, cfg in _configs(
         args.system, pool_size=args.pool_size,
         static_mask_reuse=args.static_mask_reuse, backends=args.backend,
+        runtime=args.runtime,
     ):
         if args.inference:
             res = run_secure_inference(
@@ -336,6 +347,7 @@ def main(argv: list[str] | None = None) -> int:
             "model": args.model,
             "dataset": args.dataset,
             "backend": cfg.backend,
+            "runtime": cfg.runtime,
             "offline_s": res.offline_s(n),
             "online_s": res.online_s(n),
             "total_s": res.total_s(n),

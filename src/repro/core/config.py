@@ -114,6 +114,17 @@ class FrameworkConfig:
     fault_plan: FaultPlan | None = None
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
 
+    # Task scheduling on the simulated clocks.  "lockstep" places every
+    # task at submission in program order (the historical model);
+    # "dataflow" defers placement to the event-driven ready-queue
+    # scheduler (repro.runtime.dataflow), which fires tasks as their
+    # operands resolve and extracts inter-layer / inter-batch /
+    # offline-under-online overlap automatically.  Cost-only: share
+    # values, RNG streams and wire contents are bit-identical either
+    # way (the "dataflow" conformance axis pins it); only task start
+    # times — and therefore makespans, never upward — may differ.
+    runtime: Literal["lockstep", "dataflow"] = "lockstep"
+
     # reproducibility
     seed: int = 0
 
@@ -131,6 +142,10 @@ class FrameworkConfig:
             raise ConfigError(f"n_streams must be >= 1, got {self.n_streams}")
         if self.pool_size < 0:
             raise ConfigError(f"pool_size must be >= 0, got {self.pool_size}")
+        if self.runtime not in ("lockstep", "dataflow"):
+            raise ConfigError(
+                f"runtime must be 'lockstep' or 'dataflow', got {self.runtime!r}"
+            )
 
     # -- preset constructors ----------------------------------------------------
 

@@ -229,6 +229,10 @@ def secure_predict(
         samples += rows
         if max_batches is not None and batches >= max_batches:
             break
+    # Commit any deferred dataflow schedule before the final accounting.
+    finalize = getattr(ctx, "finalize_runtime", None)
+    if finalize is not None:
+        finalize()
     delta = ctx.since(start)
     if outputs:
         predictions = np.concatenate(outputs, axis=0)

@@ -267,6 +267,14 @@ class SecureTrainer:
 
         report.batches = len(offsets)
         report.samples = report.batches * batch_size
+        # Under the dataflow runtime the batches above only *deferred*
+        # their tasks; commit the schedule so the report's makespans are
+        # the scheduled ones.  (Per-batch batch_online_s stays the
+        # program-order estimate — overlapped batches have no disjoint
+        # per-batch attribution.)
+        finalize = getattr(self.ctx, "finalize_runtime", None)
+        if finalize is not None:
+            finalize()
         delta = self.ctx.since(start_mark)
         report.offline_s = delta.offline_s
         report.online_s = delta.online_s

@@ -16,13 +16,23 @@ reference, which is what certifies the simulation's transcripts as the
 real thing.
 """
 
-from repro.runtime.actors import ClientActor, ServerActor, run_dense_forward, run_matmul
+from repro.runtime.actors import (
+    ClientActor,
+    ServerActor,
+    run_dense_forward,
+    run_matmul,
+    run_matmuls_interleaved,
+)
+from repro.runtime.dataflow import DataflowClock, PendingTask
 from repro.runtime.messages import MatmulMaterial, TAG_MATERIAL, TAG_MASKED, TAG_RESULT
 
 __all__ = [
     "ClientActor",
+    "DataflowClock",
+    "PendingTask",
     "ServerActor",
     "run_matmul",
+    "run_matmuls_interleaved",
     "run_dense_forward",
     "MatmulMaterial",
     "TAG_MATERIAL",

@@ -125,8 +125,13 @@ class ClientActor(_IdleCheck):
 
     # -- online result ----------------------------------------------------------
 
-    def collect(self, label: str) -> np.ndarray:
-        """Receive both servers' shares and decode the result."""
+    def collect_encoded(self, label: str) -> np.ndarray:
+        """Receive both servers' shares and reconstruct the ring matrix.
+
+        All result collection goes through here so every receive is
+        counted in ``runtime.messages{direction=received}`` / the
+        recv-wait histogram and label/party validated.
+        """
         shares = {}
         for i in (0, 1):
             msg: ResultShare = self._stats.recv(self.view, f"server{i}", tag_for(TAG_RESULT, label))
@@ -136,7 +141,11 @@ class ClientActor(_IdleCheck):
                     f"expected {label}/{i})"
                 )
             shares[i] = msg.c_share
-        return self.encoder.decode(reconstruct(shares[0], shares[1]))
+        return reconstruct(shares[0], shares[1])
+
+    def collect(self, label: str) -> np.ndarray:
+        """Receive both servers' shares and decode the result."""
+        return self.encoder.decode(self.collect_encoded(label))
 
 
 class ServerActor(_IdleCheck):
@@ -149,6 +158,10 @@ class ServerActor(_IdleCheck):
         self.view = view
         self.frac_bits = frac_bits
         self._pending: dict[str, MatmulMaterial] = {}
+        # Masked-exchange state keyed by label: any number of matmuls
+        # may be between send_masked and finish_matmul at once, which is
+        # what lets a scheduler interleave ops on one server.
+        self._pending_masked: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         self._stats = _ActorStats(f"server{party_id}", telemetry)
 
     @property
@@ -170,20 +183,27 @@ class ServerActor(_IdleCheck):
     def send_masked(self, label: str) -> None:
         """Eq. 4: compute E_i, F_i and send them to the peer."""
         m = self._require(label)
+        if label in self._pending_masked:
+            raise ProtocolError(
+                f"server{self.party_id}: masked pair for {label!r} already in flight; "
+                f"finish_matmul() it before sending again"
+            )
         e_i = ring_sub(m.a_share, m.u)
         f_i = ring_sub(m.b_share, m.v)
-        self._pending_masked = (label, e_i, f_i)
+        self._pending_masked[label] = (e_i, f_i)
         self.view.send(self.peer, tag_for(TAG_MASKED, label), MaskedPair(label, e_i, f_i))
         self._stats.sent()
 
     def finish_matmul(self, label: str, *, keep_share: bool = False) -> np.ndarray | None:
         """Eq. 5 + Eq. 8 + local truncation; ship C_i to the client."""
         m = self._require(label)
-        own_label, e_i, f_i = self._pending_masked
-        if own_label != label:
+        try:
+            e_i, f_i = self._pending_masked.pop(label)
+        except KeyError:
             raise ProtocolError(
-                f"server{self.party_id}: masked state is for {own_label!r}, not {label!r}"
-            )
+                f"server{self.party_id}: no masked pair in flight for {label!r}; "
+                f"send_masked() first"
+            ) from None
         remote: MaskedPair = self._stats.recv(self.view, self.peer, tag_for(TAG_MASKED, label))
         e = ring_add(e_i, remote.e)
         f = ring_add(f_i, remote.f)
@@ -235,6 +255,54 @@ def run_matmul(
     return result
 
 
+def run_matmuls_interleaved(
+    client: ClientActor,
+    servers: tuple[ServerActor, ServerActor],
+    ops: list[tuple[str, np.ndarray, np.ndarray]],
+) -> dict[str, np.ndarray]:
+    """Several secure matmuls with every masked exchange in flight at once.
+
+    All operands are dispatched and all E/F pairs staged before any op
+    completes, then ops finish in *arrival order*: whichever label's
+    peer message is already waiting fires first (readiness introspected
+    via ``pending_summary`` where the transport offers it, submission
+    order otherwise).  This is the interleaving the label-keyed masked
+    state makes legal — with a single-slot state it aborts on the
+    second ``send_masked``.
+    """
+    labels = [label for label, _a, _b in ops]
+    if len(set(labels)) != len(labels):
+        raise ProtocolError(f"duplicate op labels in interleaved batch: {labels}")
+    for label, a, b in ops:
+        client.dispatch_matmul(label, a, b)
+    for s in servers:
+        for label in labels:
+            s.receive_material(label)
+    for s in servers:
+        for label in labels:
+            s.send_masked(label)
+    remaining = list(labels)
+    while remaining:
+        label = remaining[0]
+        for candidate in remaining:
+            summary = getattr(servers[0].view, "pending_summary", None)
+            if summary is None:
+                break
+            waiting = summary()
+            if all(
+                (s.peer, tag_for(TAG_MASKED, candidate)) in waiting for s in servers
+            ):
+                label = candidate
+                break
+        remaining.remove(label)
+        for s in servers:
+            s.finish_matmul(label)
+    results = {label: client.collect(label) for label in labels}
+    for actor in (client, *servers):
+        actor.assert_idle()
+    return results
+
+
 def run_dense_forward(
     client: ClientActor,
     servers: tuple[ServerActor, ServerActor],
@@ -269,11 +337,7 @@ def run_dense_forward(
             s.send_masked(layer_label)
         for s in servers:
             s.finish_matmul(layer_label)
-        result_shares = []
-        for i in (0, 1):
-            msg = client.view.recv(f"server{i}", tag_for(TAG_RESULT, layer_label))
-            result_shares.append(msg.c_share)
-        current_enc = reconstruct(result_shares[0], result_shares[1])
+        current_enc = client.collect_encoded(layer_label)
     for actor in (client, *servers):
         actor.assert_idle()
     return enc.decode(current_enc)

@@ -95,8 +95,11 @@ class SimClock:
 
         When ``resource`` is None the join is virtual (does not occupy
         any resource); the returned task carries the max finish time.
+        An empty (or all-None) ``deps`` list joins on *everything*
+        currently scheduled: the finish defaults to ``now()``, never to
+        a point before the resources involved go free.
         """
-        finish = max((d.finish for d in deps if d is not None), default=0.0)
+        finish = max((d.finish for d in deps if d is not None), default=self.now())
         if resource is None:
             return Task(resource="<virtual>", label=label, start=finish, finish=finish)
         return self.run(resource, 0.0, deps=deps, label=label)

@@ -106,3 +106,29 @@ class TestTrace:
     def test_task_duration(self, clock):
         t = clock.run("a", 2.5)
         assert t.duration == 2.5
+
+
+class TestJoinDefaults:
+    """Regression: ``join([])`` (or all-``None`` deps) produced
+    ``finish=0.0`` even while scheduled work was still running — the
+    join point must default to ``now()``, the max free time of every
+    resource involved, never a point in the past."""
+
+    def test_empty_deps_join_anchors_at_now(self, clock):
+        clock.run("a", 3.0)
+        j = clock.join([])
+        assert j.finish == 3.0  # pre-fix: 0.0
+
+    def test_all_none_deps_join_anchors_at_now(self, clock):
+        clock.run("b", 2.0)
+        j = clock.join([None, None])
+        assert j.finish == 2.0
+
+    def test_fresh_clock_empty_join_is_zero(self, clock):
+        assert clock.join([]).finish == 0.0
+
+    def test_empty_join_with_tracing_disabled(self, clock):
+        clock.set_tracing(False)
+        clock.run("a", 1.5)
+        assert clock.join([]).finish == 1.5
+        assert clock.trace == []

@@ -363,7 +363,7 @@ class TestApiSurface:
         for name in ("Replica", "SecureServingFleet", "FleetRouter",
                      "DealerService"):
             assert name in repro.__all__ and getattr(repro, name) is not None
-        assert repro.__version__ == "1.6.0"
+        assert repro.__version__ == "1.7.0"
 
     def test_router_rejects_duplicate_names(self):
         router = FleetRouter("hash")

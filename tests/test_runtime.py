@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.comm.mpi_backend import LoopbackTransport
-from repro.runtime import ClientActor, ServerActor, run_dense_forward, run_matmul
+from repro.runtime import (
+    ClientActor,
+    ServerActor,
+    run_dense_forward,
+    run_matmul,
+    run_matmuls_interleaved,
+)
 from repro.util.errors import ProtocolError
 
 
@@ -118,3 +124,88 @@ class TestDenseForward:
         w = rng.normal(size=(3, 3))
         out = run_dense_forward(client, servers, x, [w])
         np.testing.assert_allclose(out, x @ w, atol=1e-2)
+
+
+class TestInterleavedMaskedState:
+    """Regression: ``ServerActor._pending_masked`` used to be a single
+    slot, so staging a second masked exchange before either
+    ``finish_matmul`` aborted (or would have clobbered the first
+    in-flight pair).  The state is now keyed by label."""
+
+    def test_two_masked_in_flight_before_either_finish(self, trio, rng):
+        client, servers = trio
+        a1, b1 = rng.normal(size=(2, 3)), rng.normal(size=(3, 2))
+        a2, b2 = rng.normal(size=(3, 2)), rng.normal(size=(2, 4))
+        client.dispatch_matmul("a", a1, b1)
+        client.dispatch_matmul("b", a2, b2)
+        for s in servers:
+            s.receive_material("a")
+            s.receive_material("b")
+        for s in servers:
+            s.send_masked("a")
+            s.send_masked("b")  # pre-fix: blew up on the occupied slot
+        for s in servers:
+            s.finish_matmul("a")
+            s.finish_matmul("b")
+        np.testing.assert_allclose(client.collect("a"), a1 @ b1, atol=1e-2)
+        np.testing.assert_allclose(client.collect("b"), a2 @ b2, atol=1e-2)
+        for actor in (client, *servers):
+            actor.assert_idle()
+
+    def test_duplicate_send_masked_rejected(self, trio, rng):
+        client, servers = trio
+        client.dispatch_matmul("a", rng.normal(size=(2, 2)), rng.normal(size=(2, 2)))
+        for s in servers:
+            s.receive_material("a")
+        servers[0].send_masked("a")
+        with pytest.raises(ProtocolError):
+            servers[0].send_masked("a")
+
+    def test_label_free_for_reuse_after_finish(self, trio, rng):
+        client, servers = trio
+        for _round in range(2):
+            a, b = rng.normal(size=(2, 2)), rng.normal(size=(2, 2))
+            out = run_matmul(client, servers, a, b, label="reused")
+            np.testing.assert_allclose(out, a @ b, atol=1e-2)
+
+    def test_interleaved_driver_matches_plain(self, trio, rng):
+        client, servers = trio
+        ops = [
+            (f"op{i}", rng.normal(size=(3, 4)), rng.normal(size=(4, 2)))
+            for i in range(3)
+        ]
+        results = run_matmuls_interleaved(client, servers, ops)
+        for label, a, b in ops:
+            np.testing.assert_allclose(results[label], a @ b, atol=1e-2)
+
+    def test_interleaved_driver_rejects_duplicate_labels(self, trio, rng):
+        client, servers = trio
+        a, b = rng.normal(size=(2, 2)), rng.normal(size=(2, 2))
+        with pytest.raises(ProtocolError):
+            run_matmuls_interleaved(client, servers, [("x", a, b), ("x", a, b)])
+
+
+class TestRecvAccounting:
+    """Regression: ``run_dense_forward`` read intermediate-layer results
+    with a raw ``view.recv``, bypassing sender validation and the
+    ``runtime.messages{direction=received}`` accounting."""
+
+    def test_dense_forward_counts_every_result_share(self, rng):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        hub = LoopbackTransport()
+        client = ClientActor(hub.as_role("client"), seed=7, telemetry=telemetry)
+        servers = (
+            ServerActor(0, hub.as_role("server0"), telemetry=telemetry),
+            ServerActor(1, hub.as_role("server1"), telemetry=telemetry),
+        )
+        w = [rng.normal(size=(4, 4)), rng.normal(size=(4, 3)), rng.normal(size=(3, 2))]
+        out = run_dense_forward(client, servers, rng.normal(size=(5, 4)), w)
+        assert out.shape == (5, 2)
+        received = telemetry.snapshot().counter(
+            "runtime.messages", actor="client", direction="received"
+        )
+        # two ResultShares per layer; pre-fix the intermediate layers
+        # bypassed the counter and only the last layer showed up
+        assert received == 2 * len(w)
