@@ -1,0 +1,32 @@
+"""Regenerate the workload reference transcripts.
+
+The committed JSON files under ``tests/data/`` pin the wire behaviour of
+the attention and recsys workloads on both protocol backends: an
+inference conformance run must replay bit-identically against its pin
+(``Transcript.diff`` empty — every message's blake2b payload digest,
+size, ordering and routing).  Run from the repo root:
+
+    PYTHONPATH=src python scripts/gen_workload_transcripts.py
+"""
+
+from repro.audit.conformance import ConformanceCase, run_conformance_case
+
+MODELS = ("attention", "recsys")
+BACKENDS = ("beaver2pc", "rep3")
+
+
+def main() -> None:
+    for model in MODELS:
+        for backend in BACKENDS:
+            case = ConformanceCase(model=model, axis="baseline", backend=backend)
+            result = run_conformance_case(case, audit=True, capture_payloads=True)
+            assert result.agreed, f"{model}/{backend} diverged from plain"
+            t = result.transcript
+            t.meta["artifact"] = f"{model} workload reference ({backend}, infer)"
+            path = f"tests/data/{model}_{backend}_infer_transcript.json"
+            t.dump(path)
+            print(f"wrote {path}: {len(t)} messages, {t.total_bytes} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,8 @@ Re-exported here:
 * :func:`repro.api.session` / :class:`SecureContext` /
   :class:`FrameworkConfig` — deployment wiring;
 * :class:`SharedTensor` — a secret-shared matrix;
-* the paper's six benchmark models plus :class:`SecureResNet`;
+* the paper's six benchmark models plus :class:`SecureResNet`,
+  :class:`SecureAttention`, and :class:`SecureRecsys`;
 * :func:`secure_matmul` and friends — the secure op primitives;
 * :class:`SecureTrainer` / :func:`secure_predict` — drivers;
 * :class:`Telemetry` — the observability surface every context owns.
@@ -38,13 +39,16 @@ from repro.core.models import (
     SecureRNN,
     SecureSVM,
 )
+from repro.core.attention import SecureAttention, SecureAttentionBlock
 from repro.core.ops import (
     activation,
     secure_compare_const,
     secure_elementwise_mul,
     secure_matmul,
+    secure_softmax,
     truncate,
 )
+from repro.core.recsys import SecureEmbedding, SecureRecsys
 from repro.core.resnet import SecureResNet
 from repro.core.tensor import SharedTensor
 from repro.core.training import SecureTrainer, TrainReport
@@ -72,7 +76,7 @@ from repro import serve
 
 # Single source of truth for the distribution version: pyproject.toml
 # reads this attribute via [tool.setuptools.dynamic].
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "api",
@@ -87,8 +91,13 @@ __all__ = [
     "SecureLogisticRegression",
     "SecureSVM",
     "SecureResNet",
+    "SecureAttention",
+    "SecureAttentionBlock",
+    "SecureRecsys",
+    "SecureEmbedding",
     "secure_matmul",
     "secure_elementwise_mul",
+    "secure_softmax",
     "secure_compare_const",
     "activation",
     "truncate",

@@ -6,7 +6,7 @@ Three correctness backstops every perf PR runs against:
   the wire; replay and assert bit-identity (``Transcript.assert_identical``).
 * :mod:`repro.audit.wire` — chi-square each server's recorded traffic
   against uniform ring noise (the semi-honest wire-view argument).
-* :mod:`repro.audit.conformance` — sweep all six models across the
+* :mod:`repro.audit.conformance` — sweep all eight models across the
   optimization axes against the plain baselines.
 """
 

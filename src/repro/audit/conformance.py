@@ -5,7 +5,8 @@ plaintext twin in :mod:`repro.baselines.plain` as reference semantics.
 A conformance case builds the secure model under one configuration,
 copies its decoded initial weights into the plain twin, runs both on
 the same data, and asserts the outputs agree within fixed-point
-tolerance.  Sweeping the six paper models across the optimization axes
+tolerance.  Sweeping the six paper models plus the attention/recsys workloads
+across the optimization axes
 (triplet pool, static-mask reuse, delta compression, reliable
 transport under a chaos seed) is the regression oracle for "no
 optimization changed the arithmetic".
@@ -35,15 +36,18 @@ import numpy as np
 from repro.audit.transcript import Transcript
 from repro.audit.wire import WireAuditReport, audit_transcript
 from repro.baselines.plain import (
+    PlainAttention,
     PlainCNN,
     PlainLinearRegression,
     PlainLogisticRegression,
     PlainMLP,
+    PlainRecsys,
     PlainRNN,
     PlainSVM,
     PlainTimer,
     PlainTrainer,
 )
+from repro.core.attention import SecureAttention
 from repro.core.config import FrameworkConfig
 from repro.core.inference import secure_predict
 from repro.core.models import (
@@ -54,12 +58,14 @@ from repro.core.models import (
     SecureRNN,
     SecureSVM,
 )
+from repro.core.recsys import SecureRecsys
 from repro.core.training import SecureTrainer
 from repro.faults.plan import FaultPlan
 from repro.util.errors import AuditError, ConfigError
 
-#: The six paper models (Section 7.1), by bench-suite name.
-CONFORMANCE_MODELS = ("MLP", "CNN", "RNN", "linear", "logistic", "SVM")
+#: The six paper models (Section 7.1) plus the attention and
+#: recommendation workloads, by bench-suite name.
+CONFORMANCE_MODELS = ("MLP", "CNN", "RNN", "linear", "logistic", "SVM", "attention", "recsys")
 
 #: Config axes swept against the baseline.  Values are ``.but()``
 #: overrides on the ParSecureML preset.
@@ -187,6 +193,16 @@ def _tiny_workload(case: ConformanceCase) -> tuple[np.ndarray, np.ndarray, Calla
         return (x, onehot(2),
                 lambda ctx: SecureLogisticRegression(ctx, 10, n_out=2),
                 lambda: PlainLogisticRegression(10, n_out=2, seed=s))
+    if m == "attention":
+        x = 0.5 * rng.standard_normal((n, 3 * 4))
+        return (x, onehot(3),
+                lambda ctx: SecureAttention(ctx, 3, 4, n_out=3),
+                lambda: PlainAttention(3, 4, n_out=3, seed=s))
+    if m == "recsys":
+        x = onehot(12)
+        return (x, onehot(3),
+                lambda ctx: SecureRecsys(ctx, 12, 6, n_out=3),
+                lambda: PlainRecsys(12, 6, n_out=3, seed=s))
     # SVM: labels in {-1, +1}
     x = 0.5 * rng.standard_normal((n, 10))
     y = np.where(rng.random((n, 1)) < 0.5, -1.0, 1.0)
@@ -207,6 +223,14 @@ def sync_plain_weights(model_name: str, secure, plain) -> None:
         plain.cell.wx = secure.cell.w_x.decode()
         plain.cell.wh = secure.cell.w_h.decode()
         plain.cell.b = secure.cell.bias.decode()
+        plain.readout.w = secure.readout.weight.decode()
+        plain.readout.b = secure.readout.bias.decode()
+        return
+    if model_name == "attention":
+        plain.block.wq = secure.block.w_q.decode()
+        plain.block.wk = secure.block.w_k.decode()
+        plain.block.wv = secure.block.w_v.decode()
+        plain.block.wo = secure.block.w_o.decode()
         plain.readout.w = secure.readout.weight.decode()
         plain.readout.b = secure.readout.bias.decode()
         return

@@ -360,6 +360,125 @@ class PlainRNN(PlainModel):
         return pred
 
 
+class PlainAttentionBlock(PlainLayer):
+    """Float twin of :class:`repro.core.attention.SecureAttentionBlock`.
+
+    Identical math, including the *approximate* softmax recipe
+    (:func:`repro.mpc.softmax.softmax_reference`) — so the secure/plain
+    difference measured by conformance is pure fixed-point noise, not
+    the softmax approximation itself.
+    """
+
+    def __init__(self, seq_len: int, d_model: int, rng: np.random.Generator):
+        self.seq_len = seq_len
+        self.d_model = d_model
+        scale = 1.0 / np.sqrt(d_model)
+        self.wq = rng.uniform(-scale, scale, size=(d_model, d_model))
+        self.wk = rng.uniform(-scale, scale, size=(d_model, d_model))
+        self.wv = rng.uniform(-scale, scale, size=(d_model, d_model))
+        self.wo = rng.uniform(-scale, scale, size=(d_model, d_model))
+        self._tape = None
+
+    def forward(self, x, timer, *, training=True):
+        from repro.mpc.softmax import softmax_reference
+
+        b, (s, d) = x.shape[0], (self.seq_len, self.d_model)
+        x2 = x.reshape(b * s, d)
+        for _ in range(3):
+            timer.gemm(b * s, d, d)
+        q = (x2 @ self.wq).reshape(b, s, d)
+        k = (x2 @ self.wk).reshape(b, s, d)
+        v = (x2 @ self.wv).reshape(b, s, d)
+        timer.elementwise(2 * q.nbytes)
+        scores = np.einsum("bid,bjd->bij", q, k) / np.sqrt(d)
+        attn = softmax_reference(scores.reshape(b * s, s)).reshape(b, s, s)
+        timer.elementwise(2 * v.nbytes)
+        context = np.einsum("bij,bjd->bid", attn, v).reshape(b * s, d)
+        timer.gemm(b * s, d, d)
+        o2 = context @ self.wo
+        out = o2.reshape(b, s, d).mean(axis=1)
+        if training:
+            self._tape = (x2, q, k, v, attn, context)
+        return out
+
+    def backward(self, delta, timer):
+        x2, q, k, v, attn, context = self._tape
+        b, (s, d) = delta.shape[0], (self.seq_len, self.d_model)
+        do2 = np.repeat(delta / s, s, axis=0)
+        timer.gemm(d, b * s, d)
+        self._gwo = context.T @ do2 / b
+        timer.gemm(b * s, d, d)
+        dc = (do2 @ self.wo.T).reshape(b, s, d)
+        timer.elementwise(4 * dc.nbytes)
+        da = np.einsum("bid,bjd->bij", dc, v)
+        dv = np.einsum("bij,bid->bjd", attn, dc)
+        ds = attn * (da - (attn * da).sum(axis=2, keepdims=True)) / np.sqrt(d)
+        timer.elementwise(4 * ds.nbytes)
+        dq = np.einsum("bij,bjd->bid", ds, k).reshape(b * s, d)
+        dk = np.einsum("bij,bid->bjd", ds, q).reshape(b * s, d)
+        dv = dv.reshape(b * s, d)
+        for _ in range(3):
+            timer.gemm(d, b * s, d)
+        self._gwq = x2.T @ dq / b
+        self._gwk = x2.T @ dk / b
+        self._gwv = x2.T @ dv / b
+        for _ in range(3):
+            timer.gemm(b * s, d, d)
+        dx2 = dq @ self.wq.T + dk @ self.wk.T + dv @ self.wv.T
+        return dx2.reshape(b, s * d)
+
+    def apply_gradients(self, lr):
+        self.wq -= lr * self._gwq
+        self.wk -= lr * self._gwk
+        self.wv -= lr * self._gwv
+        self.wo -= lr * self._gwo
+
+
+class PlainAttention(PlainModel):
+    def __init__(self, seq_len, d_model, *, n_out=3, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.block = PlainAttentionBlock(seq_len, d_model, rng)
+        self.readout = PlainDense(d_model, n_out, rng)
+        self.layers = [self.block, self.readout]
+
+
+class PlainEmbedding(PlainLayer):
+    """Float twin of the oblivious embedding lookup (dense, no bias)."""
+
+    def __init__(self, vocab: int, emb_dim: int, rng: np.random.Generator):
+        scale = 1.0 / np.sqrt(vocab)
+        self.w = rng.uniform(-scale, scale, size=(vocab, emb_dim))
+        self._x = None
+
+    def forward(self, x, timer, *, training=True):
+        if training:
+            self._x = x
+        timer.gemm(x.shape[0], x.shape[1], self.w.shape[1])
+        return x @ self.w
+
+    def backward(self, delta, timer):
+        batch = self._x.shape[0]
+        timer.gemm(self.w.shape[0], batch, self.w.shape[1])
+        self._gw = self._x.T @ delta / batch
+        timer.gemm(batch, self.w.shape[1], self.w.shape[0])
+        return delta @ self.w.T
+
+    def apply_gradients(self, lr):
+        self.w -= lr * self._gw
+
+
+class PlainRecsys(PlainModel):
+    def __init__(self, vocab, emb_dim, *, n_out=3, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.layers = [
+            PlainEmbedding(vocab, emb_dim, rng),
+            PlainActivation("relu"),
+            PlainDense(emb_dim, n_out, rng),
+        ]
+
+
 class PlainTrainer:
     """Batch loop + timing for the plain models."""
 

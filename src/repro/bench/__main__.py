@@ -29,8 +29,9 @@ from repro.bench.harness import (
     run_secure_inference,
     run_serving,
     run_wire_comparison,
+    run_workload_figures,
 )
-from repro.bench.workloads import BENCH_DATASETS, BENCH_MODELS
+from repro.bench.workloads import BENCH_DATASETS, BENCH_MODELS, WORKLOAD_MODELS
 from repro.core.config import FrameworkConfig
 
 
@@ -65,7 +66,7 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.bench", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("model", choices=BENCH_MODELS)
+    parser.add_argument("model", choices=BENCH_MODELS + WORKLOAD_MODELS)
     parser.add_argument("dataset", choices=BENCH_DATASETS)
     parser.add_argument("--system", choices=["par", "sml", "both"], default="both")
     parser.add_argument("--batches", type=int, default=2, help="real batches to measure")
@@ -135,6 +136,14 @@ def main(argv: list[str] | None = None) -> int:
         "to compare backends side by side in one invocation",
     )
     parser.add_argument(
+        "--workloads", action="store_true",
+        help="run the attention + recsys workload suite (train and "
+        "inference rows per model, plus recsys inference with "
+        "compression off) and report makespans, message counts and the "
+        "CSR raw-vs-wire byte gap; the committed BENCH_workloads.json "
+        "is this suite's output",
+    )
+    parser.add_argument(
         "--wire", action="store_true",
         help="compare the wire modes (baseline / framed / coalesced) on a "
         "train + serving run: comm bytes, messages, frame overhead, "
@@ -162,6 +171,52 @@ def main(argv: list[str] | None = None) -> int:
 
     results = []
     rows = []
+    if args.workloads:
+        for name, cfg in _configs(
+            "par", pool_size=args.pool_size,
+            static_mask_reuse=args.static_mask_reuse, backends=args.backend,
+            runtime=args.runtime,
+        ):
+            figure_rows = run_workload_figures(
+                cfg, n_batches=args.batches, batch_size=args.batch_size,
+                seed=args.seed,
+            )
+            for r in figure_rows:
+                tag = r.mode + ("" if r.compression else "/dense")
+                print(
+                    f"{name + '/' + r.model + '/' + tag:>28}:  "
+                    f"online {r.online_s * 1e3:9.3f} ms   "
+                    f"offline {r.offline_s * 1e3:9.3f} ms   "
+                    f"{r.comm_messages:5d} msgs   {r.comm_bytes:,} B"
+                    + (f"   wire {r.wire_comm_bytes:,} / raw {r.raw_comm_bytes:,} B"
+                       if r.raw_comm_bytes else "")
+                )
+                rows.append({
+                    "system": name, "backend": cfg.backend, "runtime": cfg.runtime,
+                    "model": r.model, "mode": r.mode, "compression": r.compression,
+                    "batches": args.batches, "batch_size": args.batch_size,
+                    "seed": args.seed,
+                    "online_s": r.online_s, "offline_s": r.offline_s,
+                    "comm_bytes": r.comm_bytes, "comm_messages": r.comm_messages,
+                    "raw_comm_bytes": r.raw_comm_bytes,
+                    "wire_comm_bytes": r.wire_comm_bytes,
+                })
+            csr = [r for r in figure_rows
+                   if r.model == "recsys" and r.mode == "infer" and r.compression]
+            dense = [r for r in figure_rows
+                     if r.model == "recsys" and r.mode == "infer" and not r.compression]
+            if csr and dense and dense[0].comm_bytes:
+                saved = dense[0].comm_bytes - csr[0].comm_bytes
+                print(f"{'':>28}   recsys CSR win: {dense[0].comm_bytes:,} -> "
+                      f"{csr[0].comm_bytes:,} B on the wire "
+                      f"({saved / dense[0].comm_bytes:.1%} saved)")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump({"argv": argv if argv is not None else sys.argv[1:],
+                           "rows": rows}, fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.json}")
+        return 0
     if args.wire:
         for name, cfg in _configs(
             "par", pool_size=args.pool_size,

@@ -627,3 +627,82 @@ def run_wire_comparison(
         spec=spec, cells=cells,
         checksum_frame_us=frame_us, checksum_pickle_us=pickle_us,
     )
+
+
+WORKLOAD_FIGURE_MODELS: tuple[str, ...] = ("attention", "recsys")
+
+
+@dataclass
+class WorkloadFigureRow:
+    """One (model, mode) cell of the BENCH_workloads.json suite."""
+
+    model: str
+    mode: str  # "train" | "infer"
+    compression: bool
+    online_s: float
+    offline_s: float
+    comm_bytes: int
+    comm_messages: int
+    raw_comm_bytes: int
+    wire_comm_bytes: int
+
+
+def run_workload_figures(
+    config: FrameworkConfig,
+    *,
+    n_batches: int = 2,
+    batch_size: int = 32,
+    seed: int = 0,
+    lr: float = 0.03125,
+) -> list[WorkloadFigureRow]:
+    """The attention/recsys workload suite behind ``--workloads``.
+
+    Each workload model contributes a training row and an inference row;
+    recsys additionally runs inference with ``compression=False`` so the
+    pair of rows *measures* the CSR delta-compression win on the static
+    embedding-table stream (the raw-vs-wire gap only exists because the
+    table's masked difference repeats byte-identically across batches —
+    see DESIGN §7).  ``benchmarks/test_workload_regression.py`` guards
+    the committed reference against message-count and makespan drift.
+    """
+    import dataclasses
+
+    rows: list[WorkloadFigureRow] = []
+    for model_name in WORKLOAD_FIGURE_MODELS:
+        x, y, spec = load_workload(
+            model_name, "SYNTHETIC", n_batches=n_batches, batch_size=batch_size, seed=seed
+        )
+        runs: list[tuple[str, bool]] = [("train", config.compression), ("infer", config.compression)]
+        if model_name == "recsys":
+            runs.append(("infer", not config.compression))
+        for mode, compression in runs:
+            cfg = dataclasses.replace(config, compression=compression)
+            ctx = SecureContext.create(cfg)
+            model = build_secure_model(ctx, spec)
+            if mode == "train":
+                SecureTrainer(ctx, model, lr=lr, monitor_loss=False).train(
+                    x, y, epochs=1, batch_size=batch_size
+                )
+            else:
+                secure_predict(ctx, model, x, batch_size=batch_size)
+            snap = ctx.telemetry.snapshot()
+            rows.append(
+                WorkloadFigureRow(
+                    model=model_name,
+                    mode=mode,
+                    compression=compression,
+                    online_s=snap.gauge("phase.sim_seconds", clock="online"),
+                    offline_s=snap.gauge("phase.sim_seconds", clock="offline"),
+                    comm_bytes=sum(
+                        int(snap.counter("comm.bytes", channel=link.label))
+                        for link in ctx.server_links.values()
+                    ),
+                    comm_messages=sum(
+                        int(snap.counter("comm.messages", channel=link.label))
+                        for link in ctx.server_links.values()
+                    ),
+                    raw_comm_bytes=int(snap.counter("comm.compression.raw_bytes")),
+                    wire_comm_bytes=int(snap.counter("comm.compression.wire_bytes")),
+                )
+            )
+    return rows

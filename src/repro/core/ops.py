@@ -38,6 +38,7 @@ __all__ = [
     "secure_matmul",
     "secure_elementwise_mul",
     "secure_compare_const",
+    "secure_softmax",
     "activation",
     "truncate",
 ]
@@ -159,6 +160,31 @@ def secure_compare_const(
         )
     with _op_scope(ctx, "compare_const", label):
         return ctx.backend.compare_const(ctx, x, threshold, label=label)
+
+
+def secure_softmax(x: SharedTensor, *, label: str = "softmax") -> SharedTensor:
+    """Secure row-wise softmax (the attention workload's nonlinearity).
+
+    Dispatched to the backend's ``softmax`` protocol — by default the
+    generic composition in :mod:`repro.mpc.softmax` (tournament row max,
+    clamp, exp-by-squaring, Newton normalization), which works on any
+    registered substrate.  Rows must be fixed-point; the result is a
+    fixed-point tensor of the same shape with entries in [0, 1] summing
+    to 1 per row, within the documented tolerance
+    (:func:`repro.mpc.softmax.softmax_error_bound`).
+    """
+    ctx = x.ctx
+    if x.ndim != 2:
+        raise ShapeError(
+            f"[{_backend_name(ctx)}:{label}] secure_softmax expects a 2-D tensor, "
+            f"got {x.shape}"
+        )
+    if x.kind != "fixed":
+        raise ProtocolError(
+            f"[{_backend_name(ctx)}:{label}] secure_softmax expects a fixed-point tensor"
+        )
+    with _op_scope(ctx, "softmax", label):
+        return ctx.backend.softmax(ctx, x, label=label)
 
 
 _KIND_UNSET = object()

@@ -17,7 +17,7 @@ training, serving, benchmarks) stays protocol-agnostic:
   keys (:attr:`needs_dealer`).
 
 The conformance contract: every backend must pass the differential
-sweep in ``repro.audit.conformance`` (all six models vs the plain
+sweep in ``repro.audit.conformance`` (all eight models vs the plain
 baselines, within the documented fixed-point tolerances) and the
 chi-square wire-view auditor — nothing a backend puts on a server link
 may be distinguishable from uniform ring noise.
@@ -102,6 +102,20 @@ class ProtocolBackend:
 
     def truncate(self, ctx, x: "SharedTensor", *, label: str) -> "SharedTensor":
         raise NotImplementedError
+
+    def softmax(self, ctx, x: "SharedTensor", *, label: str) -> "SharedTensor":
+        """Row-wise softmax of a (b, d) fixed-point tensor.
+
+        The default is the generic Morse-STF-style composition in
+        :mod:`repro.mpc.softmax` — a tournament row max, clamp,
+        exp-by-squaring and Newton normalization built purely from this
+        backend's :meth:`elementwise_mul` / :meth:`compare_const`, so
+        every registered substrate supports it out of the box; backends
+        with a native softmax protocol may override.
+        """
+        from repro.mpc.softmax import softmax_protocol
+
+        return softmax_protocol(ctx, x, label=label)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<ProtocolBackend {self.name} ({self.n_parties}-party)>"

@@ -557,9 +557,14 @@ class SecureServingFleet:
             self._journals[replica.name].append(("submit", ticket.client_id, ticket.x))
             break
         if target is None:
-            # every healthy replica is full: force-admit on the first
-            # choice — re-routed work was admitted once and never drops.
-            target = order[0]
+            # every healthy replica is full: force-admit — re-routed
+            # work was admitted once and never drops — but keep the row
+            # bounds in the decision: oversubscribe the queue with the
+            # most remaining headroom, not the depth-blind affinity
+            # pick (ties break by preference order).
+            target = max(
+                order, key=lambda r: r.queue.max_rows - r.queue.depth_rows
+            )
             rid = target.force_admit(ticket.client_id, ticket.x)
             self._journals[target.name].append(("force", ticket.client_id, ticket.x))
         ticket.replica = target.name

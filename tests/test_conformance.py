@@ -1,4 +1,4 @@
-"""Differential conformance sweep: 6 models x config axes vs plain.
+"""Differential conformance sweep: 8 models x config axes vs plain.
 
 Every cell must agree with the plain baseline within fixed-point
 tolerance; cost-only axes must additionally be bit-identical to the
@@ -53,7 +53,7 @@ def _check(result):
 
 
 class TestForwardSweep:
-    """All 6 models x all config axes x backends, forward, wire-audited."""
+    """All 8 models x all config axes x backends, forward, wire-audited."""
 
     @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("model", CONFORMANCE_MODELS)
@@ -137,8 +137,10 @@ class TestCaseValidation:
             ConformanceCase(model="MLP", axis="baseline", backend="rep5")
 
     def test_sweep_matrix_is_complete(self):
-        # acceptance criterion: 6 models x >= 4 config axes
-        assert len(CONFORMANCE_MODELS) == 6
+        # acceptance criterion: 6 paper models + attention/recsys, x >= 4 axes
+        assert len(CONFORMANCE_MODELS) == 8
+        assert "attention" in CONFORMANCE_MODELS
+        assert "recsys" in CONFORMANCE_MODELS
         assert len(CONFORMANCE_AXES) >= 5  # baseline + 4 optimization axes
         assert set(BIT_IDENTICAL_AXES) < set(CONFORMANCE_AXES)
 

@@ -257,6 +257,42 @@ class TestCrashRecovery:
         # the crashed replica respawned and is healthy again
         assert all(r.crashed_party is None for r in fleet.replicas())
 
+    def test_forced_reroute_targets_the_replica_with_most_headroom(self, rng):
+        # regression: when every healthy replica is too full to admit a
+        # re-shared ticket, the forced fallback used to dump it on the
+        # router's first affinity choice without consulting queue
+        # bounds — oversubscribing a nearly-full queue while another
+        # healthy replica had several times the headroom.
+        from repro.serve.fleet import FleetTicket
+
+        fleet = _fleet(replicas=3, placement="hash", queue_rows=8)
+        order = fleet.router.route("victim")
+        first, rest = order[0], order[1:]
+        # first affinity choice: headroom 1; the others: headroom 6
+        first.submit("filler", rng.normal(size=(7, N_FEATURES)))
+        for r in rest:
+            r.submit("filler", rng.normal(size=(2, N_FEATURES)))
+        headroom = {
+            r.name: r.queue.max_rows - r.queue.depth_rows for r in order
+        }
+        ticket = FleetTicket(
+            fleet_rid=99,
+            client_id="victim",
+            x=rng.normal(size=(7, N_FEATURES)),
+            replica="crashed",
+            replica_rid=0,
+        )
+        fleet._resubmit(ticket, exclude="crashed")
+        # never dropped...
+        assert ticket.resubmits == 1
+        assert (ticket.replica, ticket.replica_rid) in fleet._inflight
+        # ...but admission control must steer the overload to the
+        # roomiest queue, not the depth-blind affinity pick
+        assert headroom[ticket.replica] == max(headroom.values()), (
+            f"forced re-route chose {ticket.replica} with headroom "
+            f"{headroom[ticket.replica]}, but {headroom} were available"
+        )
+
     def test_conformance_replay_is_bit_identical(self, rng):
         fleet = _fleet(replicas=2, audit=True, placement="least-depth")
         for i in range(8):
@@ -363,7 +399,7 @@ class TestApiSurface:
         for name in ("Replica", "SecureServingFleet", "FleetRouter",
                      "DealerService"):
             assert name in repro.__all__ and getattr(repro, name) is not None
-        assert repro.__version__ == "1.7.0"
+        assert repro.__version__ == "1.8.0"
 
     def test_router_rejects_duplicate_names(self):
         router = FleetRouter("hash")

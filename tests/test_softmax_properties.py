@@ -1,0 +1,107 @@
+"""Property-based tests for the secure softmax protocol (hypothesis).
+
+Randomised logits across shapes and dynamic ranges, on both protocol
+backends, must satisfy the distribution properties the attention
+workload relies on:
+
+* every probability lies in [0, 1] up to fixed-point ulp slack;
+* every row sums to 1 within the normalisation tolerance (the Newton
+  reciprocal converges below one ulp, so the residual is truncation);
+* adding a constant to a row's logits does not move the output beyond
+  encoding noise (the protocol subtracts the row max exactly, so shift
+  invariance is structural, not approximate);
+* the max-abs error against the *true* plaintext softmax stays below
+  the documented :func:`repro.mpc.softmax.softmax_error_bound` —
+  the clamp + Taylor-base squaring + Newton recipe's analytic error
+  plus the fixed-point noise budget (DESIGN §7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.api import session
+from repro.core import ops
+from repro.core.tensor import SharedTensor
+from repro.mpc.softmax import softmax_error_bound
+
+pytestmark = pytest.mark.property
+
+FRAC_BITS = 13
+ULP = 2.0**-FRAC_BITS
+
+BACKENDS = st.sampled_from(["beaver2pc", "rep3"])
+SEEDS = st.integers(0, 2**31 - 1)
+
+#: logits across the ranges attention scores actually occupy, plus
+#: adversarial spreads far beyond the clamp window
+LOGITS = arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(1, 3), st.integers(1, 6)),
+    elements=st.floats(-15.0, 15.0, allow_nan=False, allow_infinity=False),
+)
+
+
+def _true_softmax(x: np.ndarray) -> np.ndarray:
+    z = x - x.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def _secure_softmax(logits: np.ndarray, *, backend: str, seed: int) -> np.ndarray:
+    ctx = session(seed=seed, backend=backend)
+    x = SharedTensor.from_plain(ctx, logits)
+    return ops.secure_softmax(x, label="prop").decode()
+
+
+@settings(max_examples=20, deadline=None)
+@given(logits=LOGITS, seed=SEEDS, backend=BACKENDS)
+def test_outputs_are_probabilities(logits, seed, backend):
+    out = _secure_softmax(logits, backend=backend, seed=seed)
+    assert np.all(out >= -4 * ULP), f"negative probability: {out.min()}"
+    assert np.all(out <= 1.0 + 16 * ULP), f"probability above 1: {out.max()}"
+
+
+@settings(max_examples=20, deadline=None)
+@given(logits=LOGITS, seed=SEEDS, backend=BACKENDS)
+def test_rows_sum_to_one(logits, seed, backend):
+    out = _secure_softmax(logits, backend=backend, seed=seed)
+    d = logits.shape[1]
+    tol = (2 * d + 16) * ULP
+    np.testing.assert_allclose(out.sum(axis=1), 1.0, atol=tol)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    logits=LOGITS,
+    shift=st.floats(-8.0, 8.0, allow_nan=False, allow_infinity=False),
+    seed=SEEDS,
+    backend=BACKENDS,
+)
+def test_invariant_under_constant_shift(logits, shift, seed, backend):
+    base = _secure_softmax(logits, backend=backend, seed=seed)
+    shifted = _secure_softmax(logits + shift, backend=backend, seed=seed)
+    # the row max is subtracted exactly, so only the +shift encoding
+    # rounding (<= 1 ulp on z) survives into the clamp/exp pipeline
+    np.testing.assert_allclose(shifted, base, atol=64 * ULP)
+
+
+@settings(max_examples=20, deadline=None)
+@given(logits=LOGITS, seed=SEEDS, backend=BACKENDS)
+def test_error_within_documented_bound(logits, seed, backend):
+    out = _secure_softmax(logits, backend=backend, seed=seed)
+    err = np.max(np.abs(out - _true_softmax(logits)))
+    bound = softmax_error_bound(logits.shape[1], FRAC_BITS)
+    assert err <= bound, f"max-abs error {err:.6f} exceeds bound {bound:.6f}"
+
+
+def test_bound_is_meaningfully_tight():
+    # the documented bound must stay a usable guarantee, not a truism
+    for d in (2, 4, 8, 16):
+        assert softmax_error_bound(d, FRAC_BITS) < 0.1
